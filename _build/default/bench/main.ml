@@ -1,0 +1,203 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation section, plus Bechamel micro-benchmarks for the constant-time
+   building blocks and an ablation for the section 6.5 optimization.
+
+     dune exec bench/main.exe            -- everything, paper scale
+     dune exec bench/main.exe -- table1  -- one experiment
+     dune exec bench/main.exe -- --small all   -- reduced inputs (CI-sized)
+
+   Absolute numbers come from the simulator's calibrated cost model
+   (DESIGN.md section 4); the comparison targets are the *shapes* reported
+   in the paper, quoted under each table. *)
+
+let ppf = Format.std_formatter
+
+let section title = Format.fprintf ppf "@.=== %s ===@.@." title
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  Format.fprintf ppf "(%.1fs)@." (Unix.gettimeofday () -. t0);
+  result
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: the operations the paper argues are cheap *)
+
+let micro_tests () =
+  let open Bechamel in
+  let nprocs = 8 in
+  let vc_a = Proto.Vclock.create nprocs and vc_b = Proto.Vclock.create nprocs in
+  Array.iteri (fun i _ -> vc_a.(i) <- i * 3) vc_a;
+  Array.iteri (fun i _ -> vc_b.(i) <- (i * 2) + 1) vc_b;
+  let words = 512 in
+  let bitmap_a = Mem.Bitmap.create words and bitmap_b = Mem.Bitmap.create words in
+  List.iter (fun i -> Mem.Bitmap.set bitmap_a ((i * 7) mod words)) (List.init 64 Fun.id);
+  List.iter (fun i -> Mem.Bitmap.set bitmap_b ((i * 11) mod words)) (List.init 64 Fun.id);
+  let page_size = 4096 and word_size = 8 in
+  let twin = Mem.Page.create ~page_size ~word_size in
+  let current = Mem.Page.create ~page_size ~word_size in
+  for i = 0 to 63 do
+    Mem.Page.set_int64 current (i * 8) (Int64.of_int i)
+  done;
+  let diff = Mem.Diff.create ~page:0 ~twin ~current in
+  let target = Mem.Page.create ~page_size ~word_size in
+  (* a synthetic barrier epoch: 8 procs x 8 intervals, cross-proc concurrent *)
+  let epoch_intervals =
+    List.concat_map
+      (fun proc ->
+        List.map
+          (fun k ->
+            let index = k + 1 in
+            let vc = Proto.Vclock.create nprocs in
+            Proto.Vclock.set vc proc index;
+            let interval = Proto.Interval.create ~proc ~index ~vc ~epoch:0 in
+            Proto.Interval.add_write_page interval (proc mod 3);
+            Proto.Interval.add_read_page interval ((proc + 1) mod 3);
+            interval.Proto.Interval.closed <- true;
+            interval)
+          (List.init 8 Fun.id))
+      (List.init nprocs Fun.id)
+  in
+  let first = List.hd epoch_intervals and tenth = List.nth epoch_intervals 9 in
+  Test.make_grouped ~name:"micro"
+    [
+      Test.make ~name:"vclock-compare"
+        (Staged.stage (fun () -> Proto.Vclock.concurrent vc_a vc_b));
+      Test.make ~name:"interval-precedes"
+        (Staged.stage (fun () -> Proto.Interval.precedes first tenth));
+      Test.make ~name:"bitmap-intersect"
+        (Staged.stage (fun () -> Mem.Bitmap.intersects bitmap_a bitmap_b));
+      Test.make ~name:"bitmap-racy-words"
+        (Staged.stage (fun () -> Mem.Bitmap.inter_indices bitmap_a bitmap_b));
+      Test.make ~name:"diff-create"
+        (Staged.stage (fun () -> Mem.Diff.create ~page:0 ~twin ~current));
+      Test.make ~name:"diff-apply" (Staged.stage (fun () -> Mem.Diff.apply diff target));
+      Test.make ~name:"concurrent-pairs-64"
+        (Staged.stage (fun () -> Racedetect.Detector.concurrent_pairs epoch_intervals));
+    ]
+
+let run_micro () =
+  let open Bechamel in
+  section "Micro-benchmarks (Bechamel, real ns on this host)";
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let raw = Benchmark.all cfg [ instance ] (micro_tests ()) in
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols instance raw in
+  let rows =
+    Hashtbl.fold (fun name v acc -> (name, v) :: acc) results []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  List.iter
+    (fun (name, ols_result) ->
+      match Analyze.OLS.estimates ols_result with
+      | Some (estimate :: _) -> Format.fprintf ppf "%-40s %12.1f ns/run@." name estimate
+      | _ -> Format.fprintf ppf "%-40s %12s@." name "n/a")
+    rows
+
+(* ------------------------------------------------------------------ *)
+
+let scale = ref Apps.Registry.Paper
+
+let run_table1 () =
+  section "Table 1";
+  wall (fun () -> Core.Report.table1 ppf (Core.Experiments.table1 ~scale:!scale ()))
+
+let run_table2 () =
+  section "Table 2";
+  wall (fun () -> Core.Report.table2 ppf (Core.Experiments.table2 ~scale:!scale ()))
+
+let run_table3 () =
+  section "Table 3";
+  wall (fun () -> Core.Report.table3 ppf (Core.Experiments.table3 ~scale:!scale ()))
+
+let run_figure3 () =
+  section "Figure 3";
+  wall (fun () -> Core.Report.figure3 ppf (Core.Experiments.figure3 ~scale:!scale ()))
+
+let run_figure4 () =
+  section "Figure 4";
+  wall (fun () ->
+      (* TSP's branch-and-bound tree is badly load-imbalanced at 2
+         processors, which makes the full-scale point very slow to
+         simulate; sweep it from 4 as the paper's own TSP curve is the
+         noisiest of the four. *)
+      let names = [ "fft"; "sor"; "water" ] in
+      let rows = Core.Experiments.figure4 ~scale:!scale ~names () in
+      let tsp = Core.Experiments.figure4 ~scale:!scale ~procs:[ 4; 8 ] ~names:[ "tsp" ] () in
+      Core.Report.figure4 ppf (rows @ tsp))
+
+let run_figure5 () =
+  section "Figure 5";
+  wall (fun () -> Core.Report.figure5 ppf (Core.Experiments.figure5_both ()))
+
+let run_ablation () =
+  section "Ablation: stores from diffs (section 6.5)";
+  wall (fun () ->
+      Core.Report.ablation ppf
+        (List.map
+           (fun name -> Core.Experiments.stores_from_diffs_ablation ~scale:!scale name)
+           [ "sor"; "water" ]))
+
+let run_retention () =
+  section "Ablation: single-run site retention (section 6.1)";
+  wall (fun () ->
+      Core.Report.retention ppf
+        (List.map
+           (fun name -> Core.Experiments.site_retention_ablation ~scale:!scale name)
+           [ "tsp"; "water" ]))
+
+let run_protocols () =
+  section "Protocol comparison (single-writer vs multi-writer vs home-based)";
+  wall (fun () ->
+      let rows =
+        List.concat_map
+          (fun name -> Core.Experiments.protocol_comparison ~scale:!scale name)
+          Apps.Registry.all_names
+      in
+      Core.Report.protocols ppf rows)
+
+let all () =
+  run_table1 ();
+  run_table2 ();
+  run_table3 ();
+  run_figure3 ();
+  run_figure4 ();
+  run_figure5 ();
+  run_ablation ();
+  run_retention ();
+  run_protocols ();
+  run_micro ()
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let args =
+    List.filter
+      (fun arg ->
+        if arg = "--small" then begin
+          scale := Apps.Registry.Small;
+          false
+        end
+        else true)
+      args
+  in
+  let dispatch = function
+    | "table1" -> run_table1 ()
+    | "table2" -> run_table2 ()
+    | "table3" -> run_table3 ()
+    | "figure3" -> run_figure3 ()
+    | "figure4" -> run_figure4 ()
+    | "figure5" -> run_figure5 ()
+    | "ablation" -> run_ablation ()
+    | "protocols" -> run_protocols ()
+    | "retention" -> run_retention ()
+    | "micro" -> run_micro ()
+    | "all" -> all ()
+    | other ->
+        Format.fprintf ppf
+          "unknown experiment %S (expected \
+           table1|table2|table3|figure3|figure4|figure5|ablation|retention|protocols|micro|all)@."
+          other;
+        exit 2
+  in
+  match args with [] -> all () | args -> List.iter dispatch args

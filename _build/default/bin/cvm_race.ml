@@ -1,0 +1,194 @@
+(* cvm_race — command-line front end.
+
+   Subcommands:
+     run     run one application with online race detection and print the
+             races, dynamic statistics, and (optionally) the slowdown
+     hunt    the full section 6.1 flow: a detection run, then a replayed
+             run with a watch list that maps each racy address to the
+             source sites that touched it
+     table   regenerate one of the paper's tables/figures (see bench/ for
+             the full harness)
+*)
+
+open Cmdliner
+
+let app_arg =
+  let doc = "Application to run: fft, sor, tsp or water." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"APP" ~doc)
+
+let procs_arg =
+  let doc = "Number of simulated processors." in
+  Arg.(value & opt int 8 & info [ "p"; "procs" ] ~docv:"N" ~doc)
+
+let scale_arg =
+  let doc = "Input scale: 'paper' (evaluation-sized) or 'small' (seconds)." in
+  Arg.(value & opt (enum [ ("paper", Apps.Registry.Paper); ("small", Apps.Registry.Small) ])
+         Apps.Registry.Paper
+      & info [ "scale" ] ~docv:"SCALE" ~doc)
+
+let protocol_arg =
+  let doc = "Coherence protocol: sw (single-writer), mw (multi-writer), hb (home-based), sc." in
+  Arg.(value
+      & opt (enum
+            [ ("sw", Lrc.Config.Single_writer);
+              ("mw", Lrc.Config.Multi_writer);
+              ("hb", Lrc.Config.Home_based);
+              ("sc", Lrc.Config.Seq_consistent);
+            ]) Lrc.Config.Single_writer
+      & info [ "protocol" ] ~docv:"PROTO" ~doc)
+
+let no_detect_arg =
+  let doc = "Disable instrumentation and race detection (baseline CVM)." in
+  Arg.(value & flag & info [ "no-detect" ] ~doc)
+
+let first_race_arg =
+  let doc = "Report only the first racy barrier epoch (section 6.4)." in
+  Arg.(value & flag & info [ "first-race-only" ] ~doc)
+
+let diff_stores_arg =
+  let doc =
+    "With the multi-writer protocol, derive write bitmaps from diffs instead of store \
+     instrumentation (section 6.5)."
+  in
+  Arg.(value & flag & info [ "stores-from-diffs" ] ~doc)
+
+let slowdown_arg =
+  let doc = "Also run the uninstrumented baseline and report the slowdown." in
+  Arg.(value & flag & info [ "slowdown" ] ~doc)
+
+let oracle_arg =
+  let doc = "Record the full access trace and cross-check against the offline oracle." in
+  Arg.(value & flag & info [ "oracle" ] ~doc)
+
+let ppf = Format.std_formatter
+
+let config ~protocol ~no_detect ~first_race_only ~stores_from_diffs ~oracle =
+  {
+    Lrc.Config.default with
+    protocol;
+    detect = not no_detect;
+    first_race_only;
+    stores_from_diffs;
+    record_trace = oracle;
+  }
+
+let print_outcome (outcome : Core.Driver.outcome) =
+  Format.fprintf ppf "== %s on %d processors (detect %s) ==@." outcome.Core.Driver.app_name
+    outcome.Core.Driver.nprocs
+    (if outcome.Core.Driver.detect then "on" else "off");
+  Format.fprintf ppf "simulated time: %.3f ms@."
+    (float_of_int outcome.Core.Driver.sim_time_ns /. 1e6);
+  Core.Report.races ~symtab:outcome.Core.Driver.symtab ppf outcome.Core.Driver.races;
+  Format.fprintf ppf "@[<v 2>statistics:@ %a@]@." Sim.Stats.pp outcome.Core.Driver.stats
+
+let run_command =
+  let run app_name procs scale protocol no_detect first_race_only stores_from_diffs slowdown
+      oracle =
+    let app = Apps.Registry.make ~scale app_name in
+    let cfg = config ~protocol ~no_detect ~first_race_only ~stores_from_diffs ~oracle in
+    if slowdown then begin
+      let sd = Core.Driver.measure_slowdown ~cfg ~app ~nprocs:procs () in
+      print_outcome sd.Core.Driver.instrumented;
+      Format.fprintf ppf "baseline: %.3f ms, slowdown factor: %.2f@."
+        (float_of_int sd.Core.Driver.base.Core.Driver.sim_time_ns /. 1e6)
+        sd.Core.Driver.factor
+    end
+    else begin
+      let outcome = Core.Driver.run ~cfg ~app ~nprocs:procs () in
+      print_outcome outcome;
+      if oracle then begin
+        let expected =
+          Racedetect.Oracle.racy_addrs ~nprocs:procs outcome.Core.Driver.trace
+        in
+        let detected = Core.Driver.racy_addrs outcome in
+        if expected = detected then Format.fprintf ppf "oracle cross-check: agreement@."
+        else begin
+          Format.fprintf ppf "oracle cross-check: MISMATCH (%d vs %d addresses)@."
+            (List.length detected) (List.length expected);
+          exit 1
+        end
+      end
+    end
+  in
+  let term =
+    Term.(const run $ app_arg $ procs_arg $ scale_arg $ protocol_arg $ no_detect_arg
+        $ first_race_arg $ diff_stores_arg $ slowdown_arg $ oracle_arg)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run an application under online race detection.") term
+
+let hunt_command =
+  let hunt app_name procs scale =
+    let app = Apps.Registry.make ~scale app_name in
+    Format.fprintf ppf "run 1: detecting races and recording synchronization order...@.";
+    let cfg1 = { Lrc.Config.default with record_sync = true } in
+    let run1 = Core.Driver.run ~cfg:cfg1 ~app ~nprocs:procs () in
+    let racy = Core.Driver.racy_addrs run1 in
+    Core.Report.races ~symtab:run1.Core.Driver.symtab ppf run1.Core.Driver.races;
+    if racy = [] then Format.fprintf ppf "nothing to hunt.@."
+    else begin
+      Format.fprintf ppf
+        "run 2: replaying the recorded order with a watch on %d address(es)...@."
+        (List.length racy);
+      let cfg2 = { Lrc.Config.default with replay = run1.Core.Driver.sync_trace } in
+      let run2 = Core.Driver.run ~cfg:cfg2 ~app ~nprocs:procs ~watch_addrs:racy () in
+      Format.fprintf ppf "source sites involved in the races:@.";
+      List.iter
+        (fun hit -> Format.fprintf ppf "  %a@." Instrument.Watch.pp_hit hit)
+        run2.Core.Driver.watch_hits
+    end
+  in
+  let term = Term.(const hunt $ app_arg $ procs_arg $ scale_arg) in
+  Cmd.v
+    (Cmd.info "hunt"
+       ~doc:
+         "Two-run race hunt (section 6.1): detect races, then replay under the recorded \
+          synchronization order to identify the source sites.")
+    term
+
+let table_command =
+  let which_arg =
+    let doc = "Which experiment: table1, table2, table3, figure3, figure4, figure5." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT" ~doc)
+  in
+  let table which scale =
+    match which with
+    | "table1" -> Core.Report.table1 ppf (Core.Experiments.table1 ~scale ())
+    | "table2" -> Core.Report.table2 ppf (Core.Experiments.table2 ~scale ())
+    | "table3" -> Core.Report.table3 ppf (Core.Experiments.table3 ~scale ())
+    | "figure3" -> Core.Report.figure3 ppf (Core.Experiments.figure3 ~scale ())
+    | "figure4" -> Core.Report.figure4 ppf (Core.Experiments.figure4 ~scale ())
+    | "figure5" -> Core.Report.figure5 ppf (Core.Experiments.figure5_both ())
+    | other -> Format.fprintf ppf "unknown experiment %S@." other
+  in
+  let term = Term.(const table $ which_arg $ scale_arg) in
+  Cmd.v (Cmd.info "table" ~doc:"Regenerate one of the paper's tables or figures.") term
+
+let litmus_command =
+  let litmus protocol =
+    List.iter
+      (fun test ->
+        let outcomes = Litmus.explore ~protocol test in
+        Format.fprintf ppf "%-16s: %s@." test.Litmus.name
+          (String.concat " | "
+             (List.map
+                (fun registers ->
+                  match registers with
+                  | [] -> "(no registers)"
+                  | _ ->
+                      String.concat ","
+                        (List.map (fun (r, v) -> Printf.sprintf "%s=%d" r v) registers))
+                outcomes)))
+      Litmus.all
+  in
+  let term = Term.(const litmus $ protocol_arg) in
+  Cmd.v
+    (Cmd.info "litmus"
+       ~doc:
+         "Explore the observable outcomes of classic memory-model litmus tests (MP, SB, \
+          coherence) under the chosen protocol.")
+    term
+
+let () =
+  let doc = "online data-race detection via coherency guarantees (OSDI '96 reproduction)" in
+  let info = Cmd.info "cvm_race" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ run_command; hunt_command; table_command; litmus_command ]))

@@ -1,0 +1,1 @@
+examples/false_sharing.ml: Format List Lrc Proto Sim

@@ -1,0 +1,1 @@
+examples/memory_models.ml: Format List Litmus Lrc Printf String

@@ -1,0 +1,1 @@
+examples/timeline.ml: Core Format Lrc

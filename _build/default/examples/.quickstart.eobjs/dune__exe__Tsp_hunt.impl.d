@@ -1,0 +1,1 @@
+examples/tsp_hunt.ml: Apps Core Format Instrument List Lrc Proto

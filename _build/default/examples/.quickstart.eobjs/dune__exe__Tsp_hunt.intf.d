@@ -1,0 +1,1 @@
+examples/tsp_hunt.mli:

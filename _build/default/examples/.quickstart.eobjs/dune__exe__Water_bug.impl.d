@@ -1,0 +1,1 @@
+examples/water_bug.ml: Apps Core Format List Proto

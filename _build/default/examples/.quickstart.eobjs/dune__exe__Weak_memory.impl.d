@@ -1,0 +1,1 @@
+examples/weak_memory.ml: Core Format List Lrc String

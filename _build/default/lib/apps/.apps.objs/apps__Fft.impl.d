@@ -1,0 +1,1 @@
+lib/apps/fft.ml: App Array Float Lrc Printf

@@ -1,0 +1,1 @@
+lib/apps/fft.mli: App

@@ -1,0 +1,1 @@
+lib/apps/lu.ml: App Array Lrc Printf

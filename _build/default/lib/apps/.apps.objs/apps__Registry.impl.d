@@ -1,0 +1,1 @@
+lib/apps/registry.ml: Fft List Lu Printf Sor String Tsp Water

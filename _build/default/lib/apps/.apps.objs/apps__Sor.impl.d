@@ -1,0 +1,1 @@
+lib/apps/sor.ml: App Array Lrc Printf

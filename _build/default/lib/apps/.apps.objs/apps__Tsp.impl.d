@@ -1,0 +1,1 @@
+lib/apps/tsp.ml: App Array Float List Lrc Printf Sim

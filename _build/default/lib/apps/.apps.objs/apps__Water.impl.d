@@ -1,0 +1,1 @@
+lib/apps/water.ml: App Array Float Fun List Lrc Printf

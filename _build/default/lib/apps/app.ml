@@ -1,0 +1,37 @@
+(* Common shape of the four benchmark applications. The driver, the CLI,
+   the benchmarks and the tests all consume this record. *)
+
+type t = {
+  name : string;
+  input_description : string;  (* Table 1's "Input Set" column *)
+  synchronization : string;  (* Table 1's "Synchronization" column *)
+  memory_bytes : int;  (* size of the shared data segment *)
+  binary : unit -> Instrument.Binary.t;  (* synthetic image for Table 2 *)
+  body : Lrc.Dsm.node -> unit;
+      (* SPMD body run by every simulated processor; raises on a failed
+         self-check so broken coherence can never pass silently *)
+}
+
+let pages_needed t ~page_size = ((t.memory_bytes + page_size - 1) / page_size) + 4
+
+(* Shared helper: build a synthetic binary from Table-2-style section
+   counts, with the usual ~3:1 load:store mix. *)
+let synthetic_binary ~name ~stack ~static_data ~library_name ~library ~cvm ~instrumented () =
+  let split n = (n * 3 / 4, n - (n * 3 / 4)) in
+  let app_part addressing prefix n =
+    let loads, stores = split n in
+    Instrument.Binary.bulk ~kind:Instrument.Binary.Load ~addressing
+      ~origin:Instrument.Binary.App_text ~prefix:(prefix ^ ".ld") loads
+    @ Instrument.Binary.bulk ~kind:Instrument.Binary.Store ~addressing
+        ~origin:Instrument.Binary.App_text ~prefix:(prefix ^ ".st") stores
+  in
+  let lib_loads, lib_stores = split library in
+  let cvm_loads, cvm_stores = split cvm in
+  Instrument.Binary.make ~name
+    (app_part Instrument.Binary.Frame_pointer (name ^ ".stack") stack
+    @ app_part Instrument.Binary.Global_pointer (name ^ ".static") static_data
+    @ Instrument.Binary.section ~origin:(Instrument.Binary.Library library_name)
+        ~prefix:(name ^ ".lib") ~loads:lib_loads ~stores:lib_stores
+    @ Instrument.Binary.section ~origin:Instrument.Binary.Cvm_runtime ~prefix:(name ^ ".cvm")
+        ~loads:cvm_loads ~stores:cvm_stores
+    @ app_part Instrument.Binary.Computed (name ^ ".shared") instrumented)

@@ -1,0 +1,107 @@
+(* LU — dense LU factorization without pivoting, a classic software-DSM
+   workload of the era (TreadMarks, Splash2). Not part of the paper's
+   evaluation; included as a fifth race-free workload for the detector.
+
+   Columns are partitioned cyclically. At step k the owner of column k
+   computes the multipliers below the diagonal, everyone crosses a
+   barrier, and each processor folds the rank-1 update into its own
+   columns. All cross-processor sharing is reads of the pivot column and
+   row; every write goes to the writer's own columns. The detector must
+   stay silent, and the result is compared element-for-element against a
+   sequential factorization with the same operation order (bit-exact). *)
+
+type params = { n : int }
+
+let paper_params = { n = 96 }
+let small_params = { n = 16 }
+
+(* Deterministic, diagonally dominant input (no pivoting needed). *)
+let input n i j =
+  let base = sin (float_of_int ((i * 31) + j)) +. cos (float_of_int ((j * 17) - i)) in
+  if i = j then base +. (2.0 *. float_of_int n) else base
+
+let reference { n } =
+  let a = Array.init n (fun i -> Array.init n (input n i)) in
+  for k = 0 to n - 1 do
+    for i = k + 1 to n - 1 do
+      a.(i).(k) <- a.(i).(k) /. a.(k).(k)
+    done;
+    for j = k + 1 to n - 1 do
+      for i = k + 1 to n - 1 do
+        a.(i).(j) <- a.(i).(j) -. (a.(i).(k) *. a.(k).(j))
+      done
+    done
+  done;
+  a
+
+let memory_bytes { n } = n * n * 8
+
+let binary () =
+  (* no Table 2 row exists for LU; reuse SOR-like section magnitudes *)
+  App.synthetic_binary ~name:"lu" ~stack:410 ~static_data:1380 ~library_name:"libm"
+    ~library:52000 ~cvm:3910 ~instrumented:190 ()
+
+let body ({ n } as params) node =
+  let open Lrc.Dsm in
+  let nprocs = nprocs node and pid = pid node in
+  let a = malloc node (n * n * 8) ~name:"lu.matrix" in
+  let index i j = (i * n) + j in
+  let owner j = j mod nprocs in
+  (* initialization: own columns *)
+  for j = 0 to n - 1 do
+    if owner j = pid then
+      for i = 0 to n - 1 do
+        write_float_at node a (index i j) (input n i j) ~site:"lu:init";
+        touch_private node 1
+      done
+  done;
+  barrier node;
+  for k = 0 to n - 1 do
+    (* the pivot column's owner computes the multipliers *)
+    if owner k = pid then begin
+      let pivot = read_float_at node a (index k k) ~site:"lu:pivot" in
+      for i = k + 1 to n - 1 do
+        let v = read_float_at node a (index i k) ~site:"lu:mult" in
+        write_float_at node a (index i k) (v /. pivot) ~site:"lu:mult";
+        touch_private node 1;
+        compute node 12.0
+      done
+    end;
+    barrier node;
+    (* rank-1 update of own trailing columns *)
+    for j = k + 1 to n - 1 do
+      if owner j = pid then begin
+        let akj = read_float_at node a (index k j) ~site:"lu:row" in
+        for i = k + 1 to n - 1 do
+          let lik = read_float_at node a (index i k) ~site:"lu:col" in
+          let v = read_float_at node a (index i j) ~site:"lu:update" in
+          write_float_at node a (index i j) (v -. (lik *. akj)) ~site:"lu:update";
+          touch_private node 2;
+          compute node 10.0
+        done
+      end
+    done;
+    barrier node
+  done;
+  (* self-check at processor 0: bit-exact against the reference *)
+  if pid = 0 then begin
+    let expected = reference params in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        let got = read_float_at node a (index i j) in
+        if got <> expected.(i).(j) then
+          failwith (Printf.sprintf "lu: mismatch at (%d,%d): %g vs %g" i j got expected.(i).(j))
+      done
+    done
+  end;
+  barrier node
+
+let make params =
+  {
+    App.name = "LU";
+    input_description = Printf.sprintf "%dx%d" params.n params.n;
+    synchronization = "barrier";
+    memory_bytes = memory_bytes params;
+    binary;
+    body = body params;
+  }

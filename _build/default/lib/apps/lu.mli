@@ -1,0 +1,18 @@
+(** LU — dense LU factorization without pivoting (column-cyclic), a
+    classic software-DSM workload. Race-free: all cross-processor sharing
+    is reads of the pivot column/row after a barrier. Not part of the
+    paper's evaluation; an extra workload for the detector. *)
+
+type params = { n : int }
+
+val paper_params : params
+val small_params : params
+
+val input : int -> int -> int -> float
+(** Deterministic, diagonally dominant input matrix. *)
+
+val reference : params -> float array array
+(** Sequential factorization with the same operation order, so the
+    parallel result matches bit-exactly. *)
+
+val make : params -> App.t

@@ -1,0 +1,25 @@
+(* Name-indexed access to the four applications, at paper scale and at the
+   reduced test scale. *)
+
+type scale = Paper | Small
+
+let all_names = [ "fft"; "sor"; "tsp"; "water" ]
+
+(* the paper's four plus the extra workloads this library ships *)
+let extended_names = all_names @ [ "lu" ]
+
+let make ?(scale = Paper) name =
+  match (String.lowercase_ascii name, scale) with
+  | "fft", Paper -> Fft.make Fft.paper_params
+  | "fft", Small -> Fft.make Fft.small_params
+  | "sor", Paper -> Sor.make Sor.paper_params
+  | "sor", Small -> Sor.make Sor.small_params
+  | "tsp", Paper -> Tsp.make Tsp.paper_params
+  | "tsp", Small -> Tsp.make Tsp.small_params
+  | "water", Paper -> Water.make Water.paper_params
+  | "water", Small -> Water.make Water.small_params
+  | "lu", Paper -> Lu.make Lu.paper_params
+  | "lu", Small -> Lu.make Lu.small_params
+  | other, _ -> invalid_arg (Printf.sprintf "Registry.make: unknown application %S" other)
+
+let all ?scale () = List.map (make ?scale) all_names

@@ -1,0 +1,17 @@
+(** Name-indexed access to the four applications. *)
+
+type scale =
+  | Paper  (** the evaluation's input sizes (minutes of simulation) *)
+  | Small  (** reduced inputs for tests and quick demos (seconds) *)
+
+val all_names : string list
+(** The paper's four: ["fft"; "sor"; "tsp"; "water"]. The evaluation
+    harness sweeps exactly these. *)
+
+val extended_names : string list
+(** [all_names] plus the extra workloads this library ships ("lu"). *)
+
+val make : ?scale:scale -> string -> App.t
+(** Raises [Invalid_argument] on an unknown name. *)
+
+val all : ?scale:scale -> unit -> App.t list

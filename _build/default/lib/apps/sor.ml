@@ -1,0 +1,119 @@
+(* SOR — Jacobi relaxation over a 2-D grid, red/black style with two grids
+   and a barrier per sweep. The paper's race-free, barrier-only workload:
+   the only cross-processor sharing is reads of the neighbour rows at
+   partition boundaries, which is pure false sharing at page granularity
+   and must produce zero race reports.
+
+   Each processor owns a contiguous band of rows. Every sweep it reads the
+   four neighbours of each interior point from the current grid and writes
+   the next grid, then everyone crosses a barrier and the grids swap. The
+   final grid is checked point-for-point against a sequential reference
+   (identical floating-point operations, so the comparison is exact). *)
+
+type params = { rows : int; cols : int; iters : int }
+
+let paper_params = { rows = 512; cols = 512; iters = 5 }
+let small_params = { rows = 24; cols = 16; iters = 4 }
+
+let boundary_value ~row ~col ~rows ~cols =
+  (* fixed temperature on the top edge, cold elsewhere *)
+  if row = 0 then 1.0 +. (float_of_int col /. float_of_int cols)
+  else if row = rows - 1 || col = 0 || col = cols - 1 then 0.0
+  else 0.0
+
+let reference { rows; cols; iters } =
+  let grid = Array.init 2 (fun _ -> Array.make_matrix rows cols 0.0) in
+  for row = 0 to rows - 1 do
+    for col = 0 to cols - 1 do
+      let v = boundary_value ~row ~col ~rows ~cols in
+      grid.(0).(row).(col) <- v;
+      grid.(1).(row).(col) <- v
+    done
+  done;
+  let cur = ref 0 in
+  for _ = 1 to iters do
+    let src = grid.(!cur) and dst = grid.(1 - !cur) in
+    for row = 1 to rows - 2 do
+      for col = 1 to cols - 2 do
+        dst.(row).(col) <-
+          0.25 *. (src.(row - 1).(col) +. src.(row + 1).(col)
+                  +. src.(row).(col - 1) +. src.(row).(col + 1))
+      done
+    done;
+    cur := 1 - !cur
+  done;
+  grid.(!cur)
+
+let memory_bytes { rows; cols; _ } = 2 * rows * cols * 8
+
+let binary () =
+  (* section counts of the paper's SOR binary (Table 2) *)
+  App.synthetic_binary ~name:"sor" ~stack:342 ~static_data:1304 ~library_name:"libc"
+    ~library:48717 ~cvm:3910 ~instrumented:126 ()
+
+let band ~rows ~nprocs ~pid =
+  (* contiguous rows [lo, hi) owned by processor [pid] *)
+  let per = (rows + nprocs - 1) / nprocs in
+  let lo = min rows (pid * per) and hi = min rows ((pid + 1) * per) in
+  (lo, hi)
+
+let body ({ rows; cols; iters } as params) node =
+  let open Lrc.Dsm in
+  let nprocs = nprocs node and pid = pid node in
+  let grid0 = malloc node (rows * cols * 8) ~name:"sor.grid0" in
+  let grid1 = malloc node (rows * cols * 8) ~name:"sor.grid1" in
+  let grids = [| grid0; grid1 |] in
+  let index row col = (row * cols) + col in
+  let lo, hi = band ~rows ~nprocs ~pid in
+  (* initialization: first touch by the owning processor *)
+  for row = lo to hi - 1 do
+    for col = 0 to cols - 1 do
+      let v = boundary_value ~row ~col ~rows ~cols in
+      write_float_at node grids.(0) (index row col) v;
+      write_float_at node grids.(1) (index row col) v;
+      touch_private node 2
+    done
+  done;
+  barrier node;
+  let cur = ref 0 in
+  for _ = 1 to iters do
+    let src = grids.(!cur) and dst = grids.(1 - !cur) in
+    for row = max 1 lo to min (rows - 2) (hi - 1) do
+      for col = 1 to cols - 2 do
+        let north = read_float_at node src (index (row - 1) col) ~site:"sor:north" in
+        let south = read_float_at node src (index (row + 1) col) ~site:"sor:south" in
+        let west = read_float_at node src (index row (col - 1)) ~site:"sor:west" in
+        let east = read_float_at node src (index row (col + 1)) ~site:"sor:east" in
+        write_float_at node dst (index row col) (0.25 *. (north +. south +. west +. east))
+          ~site:"sor:update";
+        touch_private node 1;
+        compute node 52.0
+      done
+    done;
+    barrier node;
+    cur := 1 - !cur
+  done;
+  (* self-check at processor 0: exact match with the sequential reference *)
+  if pid = 0 then begin
+    let expected = reference params in
+    for row = 0 to rows - 1 do
+      for col = 0 to cols - 1 do
+        let got = read_float_at node grids.(!cur) (index row col) in
+        if got <> expected.(row).(col) then
+          failwith
+            (Printf.sprintf "sor: mismatch at (%d,%d): got %g want %g" row col got
+               expected.(row).(col))
+      done
+    done
+  end;
+  barrier node
+
+let make params =
+  {
+    App.name = "SOR";
+    input_description = Printf.sprintf "%dx%d" params.rows params.cols;
+    synchronization = "barrier";
+    memory_bytes = memory_bytes params;
+    binary;
+    body = body params;
+  }

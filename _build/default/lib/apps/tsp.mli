@@ -1,0 +1,35 @@
+(** TSP — branch-and-bound travelling salesman: a lock-protected work
+    queue, a lock-protected global bound... and the paper's deliberate
+    benign race: pruning reads the bound WITHOUT the lock (site
+    "tsp:bound_prune"). The detector must report read-write races on the
+    bound word and nothing else. *)
+
+type params = {
+  ncities : int;
+  seed : int;
+  dfs_threshold : int;  (** solve privately once this few cities remain *)
+}
+
+val paper_params : params
+(** 16 cities (the paper ran 19; see EXPERIMENTS.md for the scaling
+    note — 19 remains available by constructing params directly). *)
+
+val small_params : params
+
+val distances : params -> int array array
+(** The deterministic instance: pseudo-random cities on a 1000x1000 grid. *)
+
+val nearest_neighbour_bound : int array array -> int
+
+val lower_bound : int array array -> bool array -> n:int -> current:int -> cost:int -> int
+(** Admissible lower bound for a partial tour (cheapest continuation edge
+    per remaining city). *)
+
+val reference : params -> int
+(** Optimal tour cost by sequential branch-and-bound; the parallel run's
+    self-check compares against it. *)
+
+val lock_queue : int
+val lock_bound : int
+
+val make : params -> App.t

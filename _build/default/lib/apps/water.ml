@@ -1,0 +1,264 @@
+(* Water — a simplified Water-Nsquared (Splash2): N three-site molecules
+   (O, H1, H2) under a soft pairwise site-site potential, integrated for a
+   few steps. As in the real application, molecules are an array of padded
+   structs (512 bytes each — positions, velocities, forces and slack for
+   the higher-order derivatives the real code keeps), locks protect the
+   shared force accumulations at molecule-group granularity, and a global
+   lock protects the potential-energy sum. Barriers separate the phases of
+   each step.
+
+   The seeded bug reproduces the class of defect the paper found in the
+   Splash2 original: with [inject_bug] (the default, matching the shipped
+   benchmark), every processor updates the global potential-energy
+   accumulator WITHOUT taking the global lock (site "water:pot_racy") — a
+   write-write data race that can lose updates. The detector must flag the
+   accumulator word; with [inject_bug = false] (the fixed version) the run
+   must be race-free and the energy exact. *)
+
+type params = {
+  nmols : int;
+  steps : int;
+  mols_per_lock : int;
+  inject_bug : bool;
+}
+
+let paper_params = { nmols = 216; steps = 5; mols_per_lock = 4; inject_bug = true }
+let small_params = { nmols = 24; steps = 3; mols_per_lock = 4; inject_bug = true }
+
+let lock_global = 0
+let lock_group g = 1 + g
+
+let dt = 0.002
+let softening = 0.1
+let sites = 3
+let mol_words = 64 (* padded struct: 27 live words + derivative slack *)
+
+(* Deterministic initial site positions: O on a jittered lattice, the two
+   H sites at fixed offsets; a pure function of (molecule, site). *)
+let initial_site n mol site =
+  let side = int_of_float (Float.ceil (Float.cbrt (float_of_int n))) in
+  let ix = mol mod side and iy = mol / side mod side and iz = mol / (side * side) in
+  let jitter k seed = 0.05 *. sin (float_of_int ((mol * 31) + (k * 17) + seed)) in
+  let ox = (2.0 *. float_of_int ix) +. jitter 0 1 in
+  let oy = (2.0 *. float_of_int iy) +. jitter 1 2 in
+  let oz = (2.0 *. float_of_int iz) +. jitter 2 3 in
+  match site with
+  | 0 -> (ox, oy, oz)
+  | 1 -> (ox +. 0.2, oy +. 0.15, oz)
+  | 2 -> (ox -. 0.2, oy +. 0.15, oz)
+  | _ -> invalid_arg "Water.initial_site"
+
+(* Soft-sphere site-site interaction: force on a from b, and the pair's
+   potential contribution. *)
+let site_interaction (xa, ya, za) (xb, yb, zb) =
+  let dx = xa -. xb and dy = ya -. yb and dz = za -. zb in
+  let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) +. softening in
+  let inv = 1.0 /. r2 in
+  let f = inv *. inv in
+  ((f *. dx, f *. dy, f *. dz), inv)
+
+(* Sequential reference mirroring the parallel numerics. *)
+type reference_result = { positions : (float * float * float) array array; potential : float }
+
+let reference { nmols; steps; _ } =
+  let pos = Array.init nmols (fun m -> Array.init sites (initial_site nmols m)) in
+  let vel = Array.init nmols (fun _ -> Array.make sites (0.0, 0.0, 0.0)) in
+  let potential = ref 0.0 in
+  for _ = 1 to steps do
+    let force = Array.init nmols (fun _ -> Array.make sites (0.0, 0.0, 0.0)) in
+    potential := 0.0;
+    for i = 0 to nmols - 1 do
+      for j = i + 1 to nmols - 1 do
+        for si = 0 to sites - 1 do
+          for sj = 0 to sites - 1 do
+            let (fx, fy, fz), pot = site_interaction pos.(i).(si) pos.(j).(sj) in
+            let ax, ay, az = force.(i).(si) in
+            force.(i).(si) <- (ax +. fx, ay +. fy, az +. fz);
+            let bx, by, bz = force.(j).(sj) in
+            force.(j).(sj) <- (bx -. fx, by -. fy, bz -. fz);
+            potential := !potential +. pot
+          done
+        done
+      done
+    done;
+    for m = 0 to nmols - 1 do
+      for s = 0 to sites - 1 do
+        let vx, vy, vz = vel.(m).(s) and fx, fy, fz = force.(m).(s) in
+        let vx = vx +. (dt *. fx) and vy = vy +. (dt *. fy) and vz = vz +. (dt *. fz) in
+        vel.(m).(s) <- (vx, vy, vz);
+        let x, y, z = pos.(m).(s) in
+        pos.(m).(s) <- (x +. (dt *. vx), y +. (dt *. vy), z +. (dt *. vz))
+      done
+    done
+  done;
+  { positions = pos; potential = !potential }
+
+let memory_bytes { nmols; _ } = (nmols * mol_words * 8) + 64
+
+let binary () =
+  App.synthetic_binary ~name:"water" ~stack:649 ~static_data:1919 ~library_name:"libm"
+    ~library:124716 ~cvm:3910 ~instrumented:528 ()
+
+(* Struct offsets, in words from the start of a molecule record. *)
+let off_pos s axis = (s * 3) + axis
+let off_vel s axis = 9 + (s * 3) + axis
+let off_force s axis = 18 + (s * 3) + axis
+
+let body ({ nmols; steps; mols_per_lock; inject_bug } as params) node =
+  let open Lrc.Dsm in
+  let nprocs = nprocs node and pid = pid node in
+  let mols = malloc node (nmols * mol_words * 8) ~name:"water.molecules" in
+  let potential = malloc node 8 ~name:"water.potential" in
+  let field mol off = mols + (((mol * mol_words) + off) * 8) in
+  let read_site mol s ~site:label =
+    ( read_float node (field mol (off_pos s 0)) ~site:label,
+      read_float node (field mol (off_pos s 1)) ~site:label,
+      read_float node (field mol (off_pos s 2)) ~site:label )
+  in
+  let write_vec mol off (x, y, z) ~site:label =
+    write_float node (field mol (off + 0)) x ~site:label;
+    write_float node (field mol (off + 1)) y ~site:label;
+    write_float node (field mol (off + 2)) z ~site:label
+  in
+  let ngroups = (nmols + mols_per_lock - 1) / mols_per_lock in
+  let group_of m = m / mols_per_lock in
+  let per = (nmols + nprocs - 1) / nprocs in
+  let lo = min nmols (pid * per) and hi = min nmols ((pid + 1) * per) in
+  (* initialization: own molecules *)
+  for m = lo to hi - 1 do
+    for s = 0 to sites - 1 do
+      write_vec m (off_pos s 0) (initial_site nmols m s) ~site:"water:init";
+      write_vec m (off_vel s 0) (0.0, 0.0, 0.0) ~site:"water:init";
+      touch_private node 3
+    done
+  done;
+  if pid = 0 then write_float node potential 0.0 ~site:"water:init";
+  barrier node;
+  for _step = 1 to steps do
+    (* phase 1: clear forces (owners) and the potential (proc 0) *)
+    for m = lo to hi - 1 do
+      for s = 0 to sites - 1 do
+        write_vec m (off_force s 0) (0.0, 0.0, 0.0) ~site:"water:clear"
+      done
+    done;
+    if pid = 0 then write_float node potential 0.0 ~site:"water:clear";
+    barrier node;
+    (* phase 2: pairwise site-site interactions, cyclically partitioned by
+       molecule-pair index; accumulate privately, merge under group locks *)
+    let private_force = Array.make (nmols * sites * 3) 0.0 in
+    let touched = Array.make nmols false in
+    let slot m s axis = (((m * sites) + s) * 3) + axis in
+    let local_potential = ref 0.0 in
+    let pair_index = ref 0 in
+    for i = 0 to nmols - 1 do
+      for j = i + 1 to nmols - 1 do
+        if !pair_index mod nprocs = pid then begin
+          let pos_i = Array.init sites (fun s -> read_site i s ~site:"water:pos") in
+          let pos_j = Array.init sites (fun s -> read_site j s ~site:"water:pos") in
+          for si = 0 to sites - 1 do
+            for sj = 0 to sites - 1 do
+              let (fx, fy, fz), pot = site_interaction pos_i.(si) pos_j.(sj) in
+              private_force.(slot i si 0) <- private_force.(slot i si 0) +. fx;
+              private_force.(slot i si 1) <- private_force.(slot i si 1) +. fy;
+              private_force.(slot i si 2) <- private_force.(slot i si 2) +. fz;
+              private_force.(slot j sj 0) <- private_force.(slot j sj 0) -. fx;
+              private_force.(slot j sj 1) <- private_force.(slot j sj 1) -. fy;
+              private_force.(slot j sj 2) <- private_force.(slot j sj 2) -. fz;
+              local_potential := !local_potential +. pot
+            done
+          done;
+          touched.(i) <- true;
+          touched.(j) <- true;
+          touch_private node 60;
+          compute node 250.0
+        end;
+        incr pair_index
+      done
+    done;
+    (* merge per lock group *)
+    for g = 0 to ngroups - 1 do
+      let members =
+        List.filter (fun m -> group_of m = g && touched.(m)) (List.init nmols Fun.id)
+      in
+      if members <> [] then
+        with_lock node (lock_group g) (fun () ->
+            List.iter
+              (fun m ->
+                for s = 0 to sites - 1 do
+                  for axis = 0 to 2 do
+                    let addr = field m (off_force s axis) in
+                    let v = read_float node addr ~site:"water:force_merge" in
+                    write_float node addr (v +. private_force.(slot m s axis))
+                      ~site:"water:force_merge"
+                  done
+                done;
+                touch_private node 9)
+              members)
+    done;
+    (* the potential-energy sum: the seeded Splash2-style bug updates the
+       global accumulator without the lock *)
+    if inject_bug then begin
+      let pot = read_float node potential ~site:"water:pot_racy" in
+      write_float node potential (pot +. !local_potential) ~site:"water:pot_racy"
+    end
+    else
+      with_lock node lock_global (fun () ->
+          let pot = read_float node potential ~site:"water:pot_locked" in
+          write_float node potential (pot +. !local_potential) ~site:"water:pot_locked");
+    barrier node;
+    (* phase 3: integrate own molecules *)
+    for m = lo to hi - 1 do
+      for s = 0 to sites - 1 do
+        let read3 off ~site:label =
+          ( read_float node (field m (off + 0)) ~site:label,
+            read_float node (field m (off + 1)) ~site:label,
+            read_float node (field m (off + 2)) ~site:label )
+        in
+        let vx, vy, vz = read3 (off_vel s 0) ~site:"water:integrate" in
+        let fx, fy, fz = read3 (off_force s 0) ~site:"water:integrate" in
+        let vx = vx +. (dt *. fx) and vy = vy +. (dt *. fy) and vz = vz +. (dt *. fz) in
+        write_vec m (off_vel s 0) (vx, vy, vz) ~site:"water:integrate";
+        let x, y, z = read3 (off_pos s 0) ~site:"water:integrate" in
+        write_vec m (off_pos s 0)
+          (x +. (dt *. vx), y +. (dt *. vy), z +. (dt *. vz))
+          ~site:"water:integrate";
+        touch_private node 8;
+        compute node 30.0
+      done
+    done;
+    barrier node
+  done;
+  (* self-check at processor 0: site positions must match the reference
+     within floating-point reassociation tolerance; the potential is only
+     checked in the fixed version (the bug can genuinely lose updates) *)
+  if pid = 0 then begin
+    let expected = reference params in
+    let close a b = Float.abs (a -. b) <= 1e-4 *. (1.0 +. Float.abs b) in
+    Array.iteri
+      (fun m site_positions ->
+        Array.iteri
+          (fun s (ex, ey, ez) ->
+            let gx, gy, gz = read_site m s ~site:"water:check" in
+            if not (close gx ex && close gy ey && close gz ez) then
+              failwith
+                (Printf.sprintf "water: molecule %d site %d at (%g,%g,%g), reference (%g,%g,%g)"
+                   m s gx gy gz ex ey ez))
+          site_positions)
+      expected.positions;
+    if not inject_bug then begin
+      let got = read_float node potential in
+      if not (close got expected.potential) then
+        failwith (Printf.sprintf "water: potential %g, reference %g" got expected.potential)
+    end
+  end;
+  barrier node
+
+let make params =
+  {
+    App.name = "Water";
+    input_description = Printf.sprintf "%d mols, %d iters" params.nmols params.steps;
+    synchronization = "lock, barrier";
+    memory_bytes = memory_bytes params;
+    binary;
+    body = body params;
+  }

@@ -1,0 +1,1 @@
+lib/core/driver.ml: Apps Instrument List Lrc Mem Proto Racedetect Sim

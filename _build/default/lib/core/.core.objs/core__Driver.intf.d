@@ -1,0 +1,1 @@
+lib/core/driver.mli: Apps Instrument Lrc Mem Proto Racedetect Sim

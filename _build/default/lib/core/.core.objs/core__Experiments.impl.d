@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Apps Driver Instrument List Lrc Printf Proto Sim

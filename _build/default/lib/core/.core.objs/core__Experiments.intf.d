@@ -1,0 +1,1 @@
+lib/core/experiments.mli: Apps Driver Instrument Lrc Sim

@@ -1,0 +1,1 @@
+lib/core/report.ml: Experiments Format Instrument List Mem Proto Sim String

@@ -1,0 +1,1 @@
+lib/core/timeline.ml: Array Format List Option Printf Racedetect

@@ -1,0 +1,82 @@
+(* Run driver: the glue that builds a simulated cluster, runs one of the
+   applications on it, and collects everything the experiments need —
+   simulated runtime, statistics, race reports, traces and watch hits. *)
+
+type outcome = {
+  app_name : string;
+  nprocs : int;
+  detect : bool;
+  sim_time_ns : int;
+  stats : Sim.Stats.t;
+  races : Proto.Race.t list;
+  trace : Racedetect.Oracle.trace;
+  sync_trace : Lrc.Sync_trace.t option;
+  watch_hits : Instrument.Watch.hit list;
+  symtab : Mem.Symtab.t;  (* variable names for symbolic race reports *)
+}
+
+let run ?(cost = Sim.Cost.default) ?(cfg = Lrc.Config.default) ?(watch_addrs = [])
+    ~(app : Apps.App.t) ~nprocs () =
+  let pages = Apps.App.pages_needed app ~page_size:cost.Sim.Cost.page_size in
+  let cluster = Lrc.Cluster.create ~cost ~cfg ~nprocs ~pages () in
+  let watch =
+    match watch_addrs with
+    | [] -> None
+    | addrs ->
+        let watch = Instrument.Watch.create ~addrs in
+        for id = 0 to nprocs - 1 do
+          Lrc.Node.set_access_observer (Lrc.Cluster.node cluster id)
+            (Instrument.Watch.observer watch)
+        done;
+        Some watch
+  in
+  Lrc.Cluster.run cluster ~body:app.Apps.App.body;
+  {
+    app_name = app.Apps.App.name;
+    nprocs;
+    detect = cfg.Lrc.Config.detect;
+    sim_time_ns = Lrc.Cluster.sim_time cluster;
+    stats = Lrc.Cluster.stats cluster;
+    races = Lrc.Cluster.races cluster;
+    trace = Lrc.Cluster.trace cluster;
+    sync_trace = Lrc.Cluster.sync_trace cluster;
+    watch_hits = (match watch with Some w -> Instrument.Watch.hits w | None -> []);
+    symtab = Lrc.Cluster.symtab cluster;
+  }
+
+type slowdown = {
+  base : outcome;  (* uninstrumented binary on unaltered CVM *)
+  instrumented : outcome;  (* instrumentation + read notices + detection *)
+  factor : float;
+}
+
+let measure_slowdown ?cost ?(cfg = Lrc.Config.default) ~app ~nprocs () =
+  let base = run ?cost ~cfg:{ cfg with Lrc.Config.detect = false } ~app ~nprocs () in
+  let instrumented = run ?cost ~cfg:{ cfg with Lrc.Config.detect = true } ~app ~nprocs () in
+  {
+    base;
+    instrumented;
+    factor = float_of_int instrumented.sim_time_ns /. float_of_int base.sim_time_ns;
+  }
+
+(* Figure 3's per-category overhead, as a percentage of the base runtime.
+   Instrumentation and CVM-mods charges accrue on every processor in
+   parallel, so their observable share is the per-processor average; the
+   interval and bitmap work is serialized at the barrier master, so its
+   charge is observable in full (the effect section 6.2 discusses). *)
+let overhead_percentages slowdown =
+  let base = float_of_int slowdown.base.sim_time_ns in
+  let parallel = float_of_int slowdown.instrumented.nprocs in
+  List.map
+    (fun category ->
+      let divisor =
+        match category with
+        | Sim.Stats.Cvm_mods | Sim.Stats.Proc_call | Sim.Stats.Access_check -> parallel
+        | Sim.Stats.Intervals | Sim.Stats.Bitmaps -> 1.0
+      in
+      ( category,
+        100.0 *. Sim.Stats.charged slowdown.instrumented.stats category /. divisor /. base ))
+    Sim.Stats.all_categories
+
+let racy_addrs outcome =
+  outcome.races |> List.map (fun (r : Proto.Race.t) -> r.addr) |> List.sort_uniq compare

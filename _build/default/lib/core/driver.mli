@@ -1,0 +1,45 @@
+(** Run driver: builds a simulated cluster, runs an application on it and
+    collects everything the experiments need. *)
+
+type outcome = {
+  app_name : string;
+  nprocs : int;
+  detect : bool;
+  sim_time_ns : int;
+  stats : Sim.Stats.t;
+  races : Proto.Race.t list;
+  trace : Racedetect.Oracle.trace;  (** empty unless [record_trace] *)
+  sync_trace : Lrc.Sync_trace.t option;  (** present when [record_sync] *)
+  watch_hits : Instrument.Watch.hit list;  (** present when watching *)
+  symtab : Mem.Symtab.t;  (** variable names for symbolic race reports *)
+}
+
+val run :
+  ?cost:Sim.Cost.t ->
+  ?cfg:Lrc.Config.t ->
+  ?watch_addrs:int list ->
+  app:Apps.App.t ->
+  nprocs:int ->
+  unit ->
+  outcome
+(** Run one application once. [watch_addrs] installs the section 6.1
+    watch list on every node. The application's self-check raises on a
+    wrong answer, so an [outcome] implies a correct run. *)
+
+type slowdown = {
+  base : outcome;  (** uninstrumented binary on unaltered CVM *)
+  instrumented : outcome;  (** instrumentation + read notices + detection *)
+  factor : float;
+}
+
+val measure_slowdown :
+  ?cost:Sim.Cost.t -> ?cfg:Lrc.Config.t -> app:Apps.App.t -> nprocs:int -> unit -> slowdown
+(** The paper's slowdown metric: the same run with and without detection. *)
+
+val overhead_percentages : slowdown -> (Sim.Stats.overhead_category * float) list
+(** Figure 3's breakdown, as percentages of the base runtime. Per-processor
+    parallel charges are averaged; master-side interval/bitmap work is
+    serialized and counted in full (section 6.2). *)
+
+val racy_addrs : outcome -> int list
+(** Sorted distinct racy addresses. *)

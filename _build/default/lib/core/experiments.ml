@@ -1,0 +1,302 @@
+(* Regeneration of every table and figure in the paper's evaluation.
+   Each experiment returns structured rows; {!Report} renders them. The
+   benchmark harness and the CLI both drive these functions. *)
+
+let default_procs = 8
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: application characteristics                                 *)
+
+type table1_row = {
+  t1_name : string;
+  t1_input : string;
+  t1_sync : string;
+  t1_memory_kb : int;
+  t1_intervals_per_barrier : float;  (* per processor per barrier epoch *)
+  t1_slowdown : float;  (* 8-processor instrumented / base *)
+}
+
+let paper_table1 =
+  [
+    ("FFT", 2.0, 2.08);
+    ("SOR", 2.0, 1.83);
+    ("TSP", 177.0, 2.51);
+    ("Water", 46.0, 2.31);
+  ]
+
+let table1_row ?(scale = Apps.Registry.Paper) ?(nprocs = default_procs) name =
+  let app = Apps.Registry.make ~scale name in
+  let sd = Driver.measure_slowdown ~app ~nprocs () in
+  let stats = sd.Driver.instrumented.Driver.stats in
+  {
+    t1_name = app.Apps.App.name;
+    t1_input = app.Apps.App.input_description;
+    t1_sync = app.Apps.App.synchronization;
+    t1_memory_kb = app.Apps.App.memory_bytes / 1024;
+    t1_intervals_per_barrier =
+      float_of_int stats.Sim.Stats.intervals_created
+      /. float_of_int (max 1 stats.Sim.Stats.barriers)
+      /. float_of_int nprocs;
+    t1_slowdown = sd.Driver.factor;
+  }
+
+let table1 ?scale ?nprocs () =
+  List.map (table1_row ?scale ?nprocs) Apps.Registry.all_names
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: static instrumentation statistics                          *)
+
+type table2_row = {
+  t2_name : string;
+  t2_class : Instrument.Static_analysis.classification;
+}
+
+let table2 ?(scale = Apps.Registry.Paper) () =
+  List.map
+    (fun name ->
+      let app = Apps.Registry.make ~scale name in
+      {
+        t2_name = app.Apps.App.name;
+        t2_class = Instrument.Static_analysis.classify (app.Apps.App.binary ());
+      })
+    Apps.Registry.all_names
+
+(* ------------------------------------------------------------------ *)
+(* Table 3: dynamic metrics                                            *)
+
+type table3_row = {
+  t3_name : string;
+  t3_intervals_used_pct : float;  (* intervals in >= 1 overlapping pair *)
+  t3_bitmaps_used_pct : float;  (* bitmaps retrieved / bitmaps recorded *)
+  t3_msg_overhead_pct : float;  (* read-notice bytes / base-protocol bytes *)
+  t3_shared_per_sec : float;  (* instrumented shared accesses per sim second *)
+  t3_private_per_sec : float;
+}
+
+let table3_of_outcome (outcome : Driver.outcome) =
+  let stats = outcome.Driver.stats in
+  let seconds = float_of_int outcome.Driver.sim_time_ns /. 1e9 in
+  let pct num den = if den <= 0 then 0.0 else 100.0 *. float_of_int num /. float_of_int den in
+  let base_bytes =
+    stats.Sim.Stats.bytes - stats.Sim.Stats.read_notice_bytes
+    - stats.Sim.Stats.bitmap_round_bytes
+  in
+  {
+    t3_name = outcome.Driver.app_name;
+    t3_intervals_used_pct =
+      pct stats.Sim.Stats.intervals_in_overlap stats.Sim.Stats.intervals_created;
+    t3_bitmaps_used_pct = pct stats.Sim.Stats.bitmaps_requested stats.Sim.Stats.bitmaps_total;
+    t3_msg_overhead_pct = pct stats.Sim.Stats.read_notice_bytes base_bytes;
+    t3_shared_per_sec = float_of_int (Sim.Stats.shared_accesses stats) /. seconds;
+    t3_private_per_sec = float_of_int stats.Sim.Stats.private_accesses /. seconds;
+  }
+
+let table3_row ?(scale = Apps.Registry.Paper) ?(nprocs = default_procs) name =
+  let app = Apps.Registry.make ~scale name in
+  table3_of_outcome (Driver.run ~app ~nprocs ())
+
+let table3 ?scale ?nprocs () =
+  List.map (table3_row ?scale ?nprocs) Apps.Registry.all_names
+
+(* ------------------------------------------------------------------ *)
+(* Figure 3: overhead breakdown per application                        *)
+
+type figure3_row = {
+  f3_name : string;
+  f3_slowdown : float;
+  f3_overheads : (Sim.Stats.overhead_category * float) list;  (* % of base *)
+}
+
+let figure3_row ?(scale = Apps.Registry.Paper) ?(nprocs = default_procs) name =
+  let app = Apps.Registry.make ~scale name in
+  let sd = Driver.measure_slowdown ~app ~nprocs () in
+  {
+    f3_name = app.Apps.App.name;
+    f3_slowdown = sd.Driver.factor;
+    f3_overheads = Driver.overhead_percentages sd;
+  }
+
+let figure3 ?scale ?nprocs () =
+  List.map (figure3_row ?scale ?nprocs) Apps.Registry.all_names
+
+(* ------------------------------------------------------------------ *)
+(* Figure 4: slowdown versus number of processors                      *)
+
+type figure4_row = { f4_name : string; f4_points : (int * float) list }
+
+let figure4_row ?(scale = Apps.Registry.Paper) ?(procs = [ 2; 4; 8 ]) name =
+  let app = Apps.Registry.make ~scale name in
+  {
+    f4_name = app.Apps.App.name;
+    f4_points =
+      List.map
+        (fun nprocs ->
+          let sd = Driver.measure_slowdown ~app ~nprocs () in
+          (nprocs, sd.Driver.factor))
+        procs;
+  }
+
+let figure4 ?scale ?procs ?(names = Apps.Registry.all_names) () =
+  List.map (figure4_row ?scale ?procs) names
+
+(* ------------------------------------------------------------------ *)
+(* Figure 5: races that occur only on a weak memory system             *)
+
+type figure5_result = {
+  f5_protocol : string;
+  f5_qptr_seen_by_p2 : int;  (* the value P2 dequeues through *)
+  f5_racy_words : (int * string) list;  (* racy address, symbolic name *)
+}
+
+(* The section 6.4 scenario: P1 fills a queue slot and updates qPtr and
+   qEmpty but the release is missing; P2 polls qEmpty, reads qPtr and
+   writes into the slots it believes it owns; P3 concurrently writes slots
+   37..40. Under LRC, P2 reads a *stale* qPtr (37) because nothing
+   invalidates its cached copy, so its writes collide with P3's. On a
+   sequentially consistent system P2 sees qPtr = 100 (qEmpty's value could
+   only have propagated together with qPtr's) and the slot races cannot
+   occur. *)
+let figure5 ~protocol () =
+  let cfg = { Lrc.Config.default with protocol; detect = true } in
+  let cost = Sim.Cost.default in
+  let cluster = Lrc.Cluster.create ~cost ~cfg ~nprocs:3 ~pages:8 () in
+  let page = cost.Sim.Cost.page_size in
+  let qptr = Lrc.Cluster.alloc cluster ~align:page 8 in
+  let qempty = Lrc.Cluster.alloc cluster ~align:page 8 in
+  let slots = Lrc.Cluster.alloc cluster ~align:page (128 * 8) in
+  let slot_addr v = slots + ((v - 37) * 8) in
+  let p2_qptr = ref 0 in
+  let body node =
+    let open Lrc.Dsm in
+    (match pid node with
+    | 0 ->
+        (* P1: initialize, then fill without releasing *)
+        write_int node qptr 37 ~site:"fig5:init";
+        write_int node qempty 1 ~site:"fig5:init";
+        barrier node;
+        compute node 250_000.0;
+        write_int node qptr 100 ~site:"fig5:w1(qPtr)";
+        write_int node qempty 0 ~site:"fig5:w1(qEmpty)"
+    | 1 ->
+        (* P2: warm the qPtr page, then poll qEmpty and enqueue *)
+        barrier node;
+        let _warm = read_int node qptr ~site:"fig5:warm" in
+        compute node 800_000.0;
+        let empty = read_int node qempty ~site:"fig5:r2(qEmpty)" in
+        if empty = 0 then begin
+          let v = read_int node qptr ~site:"fig5:r2(qPtr)" in
+          p2_qptr := v;
+          write_int node (slot_addr v) 1 ~site:"fig5:w2(slot)";
+          write_int node (slot_addr (v + 1)) 2 ~site:"fig5:w2(slot)"
+        end
+    | _ ->
+        (* P3: writes slots 37..40 based on its own stale view *)
+        barrier node;
+        compute node 500_000.0;
+        List.iter
+          (fun v -> write_int node (slot_addr v) (100 + v) ~site:"fig5:w3(slot)")
+          [ 37; 38; 39; 40 ]);
+    barrier node
+  in
+  Lrc.Cluster.run cluster ~body;
+  let symbolic addr =
+    if addr = qptr then "qPtr"
+    else if addr = qempty then "qEmpty"
+    else Printf.sprintf "slot[%d]" (((addr - slots) / 8) + 37)
+  in
+  let racy =
+    Lrc.Cluster.races cluster
+    |> List.map (fun (r : Proto.Race.t) -> r.addr)
+    |> List.sort_uniq compare
+    |> List.map (fun addr -> (addr, symbolic addr))
+  in
+  {
+    f5_protocol = Lrc.Config.protocol_name protocol;
+    f5_qptr_seen_by_p2 = !p2_qptr;
+    f5_racy_words = racy;
+  }
+
+let figure5_both () =
+  [ figure5 ~protocol:Lrc.Config.Single_writer (); figure5 ~protocol:Lrc.Config.Seq_consistent () ]
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: the section 6.5 store-instrumentation optimization        *)
+
+type ablation_row = {
+  ab_name : string;
+  ab_full_slowdown : float;  (* loads + stores instrumented *)
+  ab_diff_slowdown : float;  (* stores recovered from diffs *)
+  ab_full_races : int;
+  ab_diff_races : int;
+}
+
+let stores_from_diffs_ablation ?(scale = Apps.Registry.Paper) ?(nprocs = default_procs) name =
+  let app = Apps.Registry.make ~scale name in
+  let cfg = { Lrc.Config.default with Lrc.Config.protocol = Lrc.Config.Multi_writer } in
+  let full = Driver.measure_slowdown ~cfg ~app ~nprocs () in
+  let cfg_diff = { cfg with Lrc.Config.stores_from_diffs = true } in
+  let diff = Driver.measure_slowdown ~cfg:cfg_diff ~app ~nprocs () in
+  {
+    ab_name = app.Apps.App.name;
+    ab_full_slowdown = full.Driver.factor;
+    ab_diff_slowdown = diff.Driver.factor;
+    ab_full_races = List.length full.Driver.instrumented.Driver.races;
+    ab_diff_races = List.length diff.Driver.instrumented.Driver.races;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Protocol comparison: the same applications over the single-writer,
+   multi-writer and home-based protocols (baseline runs, no detection)  *)
+
+type protocol_row = {
+  pr_app : string;
+  pr_protocol : string;
+  pr_time_ms : float;
+  pr_messages : int;
+  pr_kbytes : int;
+  pr_page_fetches : int;
+  pr_diffs : int;
+}
+
+let protocol_comparison ?(scale = Apps.Registry.Paper) ?(nprocs = default_procs) name =
+  let app = Apps.Registry.make ~scale name in
+  List.map
+    (fun protocol ->
+      let cfg = { Lrc.Config.default with Lrc.Config.protocol; detect = false } in
+      let outcome = Driver.run ~cfg ~app ~nprocs () in
+      let stats = outcome.Driver.stats in
+      {
+        pr_app = app.Apps.App.name;
+        pr_protocol = Lrc.Config.protocol_name protocol;
+        pr_time_ms = float_of_int outcome.Driver.sim_time_ns /. 1e6;
+        pr_messages = stats.Sim.Stats.messages;
+        pr_kbytes = stats.Sim.Stats.bytes / 1024;
+        pr_page_fetches = stats.Sim.Stats.pages_fetched;
+        pr_diffs = stats.Sim.Stats.diffs_created;
+      })
+    [ Lrc.Config.Single_writer; Lrc.Config.Multi_writer; Lrc.Config.Home_based ]
+
+(* ------------------------------------------------------------------ *)
+(* Section 6.1 ablation: single-run site retention vs plain detection   *)
+
+type retention_row = {
+  rt_app : string;
+  rt_plain_slowdown : float;
+  rt_retain_slowdown : float;
+  rt_site_entries : int;
+  rt_site_kbytes : int;  (* approximate storage the paper calls prohibitive *)
+}
+
+let site_retention_ablation ?(scale = Apps.Registry.Paper) ?(nprocs = default_procs) name =
+  let app = Apps.Registry.make ~scale name in
+  let plain = Driver.measure_slowdown ~app ~nprocs () in
+  let cfg = { Lrc.Config.default with Lrc.Config.retain_sites = true } in
+  let retain = Driver.measure_slowdown ~cfg ~app ~nprocs () in
+  let entries = retain.Driver.instrumented.Driver.stats.Sim.Stats.site_entries in
+  {
+    rt_app = app.Apps.App.name;
+    rt_plain_slowdown = plain.Driver.factor;
+    rt_retain_slowdown = retain.Driver.factor;
+    rt_site_entries = entries;
+    rt_site_kbytes = entries * 32 / 1024;
+  }

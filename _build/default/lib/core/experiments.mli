@@ -1,0 +1,127 @@
+(** Regeneration of every table and figure in the paper's evaluation,
+    plus this library's extension experiments. Each function returns
+    structured rows; {!Report} renders them. *)
+
+val default_procs : int
+(** 8, the paper's system size. *)
+
+(** {1 Table 1 — application characteristics} *)
+
+type table1_row = {
+  t1_name : string;
+  t1_input : string;
+  t1_sync : string;
+  t1_memory_kb : int;
+  t1_intervals_per_barrier : float;  (** per processor per barrier epoch *)
+  t1_slowdown : float;
+}
+
+val paper_table1 : (string * float * float) list
+(** (app, intervals/barrier, slowdown) as published. *)
+
+val table1_row : ?scale:Apps.Registry.scale -> ?nprocs:int -> string -> table1_row
+val table1 : ?scale:Apps.Registry.scale -> ?nprocs:int -> unit -> table1_row list
+
+(** {1 Table 2 — static instrumentation statistics} *)
+
+type table2_row = {
+  t2_name : string;
+  t2_class : Instrument.Static_analysis.classification;
+}
+
+val table2 : ?scale:Apps.Registry.scale -> unit -> table2_row list
+
+(** {1 Table 3 — dynamic metrics} *)
+
+type table3_row = {
+  t3_name : string;
+  t3_intervals_used_pct : float;
+  t3_bitmaps_used_pct : float;
+  t3_msg_overhead_pct : float;
+  t3_shared_per_sec : float;
+  t3_private_per_sec : float;
+}
+
+val table3_of_outcome : Driver.outcome -> table3_row
+val table3_row : ?scale:Apps.Registry.scale -> ?nprocs:int -> string -> table3_row
+val table3 : ?scale:Apps.Registry.scale -> ?nprocs:int -> unit -> table3_row list
+
+(** {1 Figure 3 — overhead breakdown} *)
+
+type figure3_row = {
+  f3_name : string;
+  f3_slowdown : float;
+  f3_overheads : (Sim.Stats.overhead_category * float) list;
+}
+
+val figure3_row : ?scale:Apps.Registry.scale -> ?nprocs:int -> string -> figure3_row
+val figure3 : ?scale:Apps.Registry.scale -> ?nprocs:int -> unit -> figure3_row list
+
+(** {1 Figure 4 — slowdown versus processors} *)
+
+type figure4_row = { f4_name : string; f4_points : (int * float) list }
+
+val figure4_row : ?scale:Apps.Registry.scale -> ?procs:int list -> string -> figure4_row
+
+val figure4 :
+  ?scale:Apps.Registry.scale ->
+  ?procs:int list ->
+  ?names:string list ->
+  unit ->
+  figure4_row list
+
+(** {1 Figure 5 — weak-memory-only races} *)
+
+type figure5_result = {
+  f5_protocol : string;
+  f5_qptr_seen_by_p2 : int;
+  f5_racy_words : (int * string) list;
+}
+
+val figure5 : protocol:Lrc.Config.protocol -> unit -> figure5_result
+(** The section 6.4 missing-release queue, run live under a protocol. *)
+
+val figure5_both : unit -> figure5_result list
+(** Under LRC (single-writer) and sequential consistency. *)
+
+(** {1 Extension ablations} *)
+
+type ablation_row = {
+  ab_name : string;
+  ab_full_slowdown : float;
+  ab_diff_slowdown : float;
+  ab_full_races : int;
+  ab_diff_races : int;
+}
+
+val stores_from_diffs_ablation :
+  ?scale:Apps.Registry.scale -> ?nprocs:int -> string -> ablation_row
+(** Section 6.5: write bitmaps from multi-writer diffs vs full store
+    instrumentation. *)
+
+type protocol_row = {
+  pr_app : string;
+  pr_protocol : string;
+  pr_time_ms : float;
+  pr_messages : int;
+  pr_kbytes : int;
+  pr_page_fetches : int;
+  pr_diffs : int;
+}
+
+val protocol_comparison :
+  ?scale:Apps.Registry.scale -> ?nprocs:int -> string -> protocol_row list
+(** Baseline (no-detection) runs over single-writer, multi-writer and
+    home-based coherence. *)
+
+type retention_row = {
+  rt_app : string;
+  rt_plain_slowdown : float;
+  rt_retain_slowdown : float;
+  rt_site_entries : int;
+  rt_site_kbytes : int;
+}
+
+val site_retention_ablation :
+  ?scale:Apps.Registry.scale -> ?nprocs:int -> string -> retention_row
+(** Section 6.1: the cost of single-run program-counter retention. *)

@@ -1,0 +1,1 @@
+lib/instrument/binary.ml: List Printf

@@ -1,0 +1,1 @@
+lib/instrument/static_analysis.ml: Binary Format List

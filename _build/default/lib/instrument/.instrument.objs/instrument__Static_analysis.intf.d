@@ -1,0 +1,1 @@
+lib/instrument/static_analysis.mli: Binary Format

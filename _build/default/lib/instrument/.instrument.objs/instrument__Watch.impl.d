@@ -1,0 +1,1 @@
+lib/instrument/watch.ml: Format Hashtbl List Proto

@@ -1,0 +1,1 @@
+lib/instrument/watch.mli: Format Proto

@@ -1,0 +1,55 @@
+(* Synthetic executable images — the objects our ATOM analogue analyzes.
+
+   ATOM classified every load and store in a real Alpha binary by its
+   addressing mode and origin. We cannot rewrite native binaries from
+   OCaml, so each application instead carries a synthetic instruction
+   table with the same metadata the real classifier keyed on: which base
+   register the access goes through (frame pointer, global pointer, or a
+   computed register) and which section of the image it lives in
+   (application text, shared libraries, or the CVM runtime itself).
+   The static analysis pass in {!Static_analysis} then reproduces the
+   elimination logic of the paper's section 5.1 on these tables. *)
+
+type kind = Load | Store
+
+type addressing =
+  | Frame_pointer  (* sp/fp-relative: a stack slot *)
+  | Global_pointer  (* gp-relative: statically allocated data *)
+  | Computed  (* through a computed register: possibly shared *)
+
+type origin =
+  | App_text  (* the application's own code *)
+  | Library of string  (* libc, libm, ... *)
+  | Cvm_runtime  (* the DSM library linked into the binary *)
+
+type instruction = {
+  kind : kind;
+  addressing : addressing;
+  origin : origin;
+  site : string;  (* symbolic "program counter": file:function#n *)
+  proven_private : bool;
+      (* the intra-basic-block data-flow analysis showed the computed
+         address can only reach private data *)
+}
+
+type t = { name : string; instructions : instruction list }
+
+let instruction_count t = List.length t.instructions
+
+(* Builders used by the applications' [binary] descriptions. *)
+
+let make ~name instructions = { name; instructions }
+
+let repeat n f = List.init n f
+
+let bulk ~kind ~addressing ~origin ~prefix ?(proven_private = false) n =
+  repeat n (fun i ->
+      { kind; addressing; origin; site = Printf.sprintf "%s#%d" prefix i; proven_private })
+
+let section ~origin ~prefix ~loads ~stores =
+  (* library/runtime sections: addressing is irrelevant to classification *)
+  bulk ~kind:Load ~addressing:Computed ~origin ~prefix:(prefix ^ ".ld") loads
+  @ bulk ~kind:Store ~addressing:Computed ~origin ~prefix:(prefix ^ ".st") stores
+
+let loads t = List.filter (fun i -> i.kind = Load) t.instructions
+let stores t = List.filter (fun i -> i.kind = Store) t.instructions

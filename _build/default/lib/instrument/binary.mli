@@ -1,0 +1,47 @@
+(** Synthetic executable images — what our ATOM analogue analyzes.
+
+    Each instruction carries the metadata the real classifier keyed on:
+    the base register of the access (frame pointer, global pointer, or a
+    computed register) and the image section it lives in (application
+    text, a shared library, or the CVM runtime). *)
+
+type kind = Load | Store
+
+type addressing =
+  | Frame_pointer  (** sp/fp-relative: a stack slot *)
+  | Global_pointer  (** gp-relative: statically allocated data *)
+  | Computed  (** through a computed register: possibly shared *)
+
+type origin = App_text | Library of string | Cvm_runtime
+
+type instruction = {
+  kind : kind;
+  addressing : addressing;
+  origin : origin;
+  site : string;  (** symbolic program counter, e.g. "file:function#n" *)
+  proven_private : bool;
+      (** the intra-basic-block data-flow analysis proved the computed
+          address private *)
+}
+
+type t = { name : string; instructions : instruction list }
+
+val make : name:string -> instruction list -> t
+val instruction_count : t -> int
+
+val bulk :
+  kind:kind ->
+  addressing:addressing ->
+  origin:origin ->
+  prefix:string ->
+  ?proven_private:bool ->
+  int ->
+  instruction list
+(** [bulk ~kind ~addressing ~origin ~prefix n] makes [n] alike
+    instructions with distinct sites. *)
+
+val section : origin:origin -> prefix:string -> loads:int -> stores:int -> instruction list
+(** A library or runtime section (addressing irrelevant to elimination). *)
+
+val loads : t -> instruction list
+val stores : t -> instruction list

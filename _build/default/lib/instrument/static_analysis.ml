@@ -1,0 +1,60 @@
+(* The static elimination pass of section 5.1.
+
+   An instruction can be proven to never touch shared data when:
+   - it addresses through the frame pointer (stack data);
+   - it addresses through the global pointer (statically allocated data —
+     safe because the DSM allocates all shared memory dynamically);
+   - it lives in a shared library (the applications pass no shared-segment
+     pointers to libraries);
+   - it lives in the CVM runtime itself;
+   - the intra-basic-block data-flow analysis proved the computed address
+     private.
+
+   Everything else is instrumented: ATOM inserts a procedure call to the
+   analysis routine before it. *)
+
+type classification = {
+  stack : int;
+  static_data : int;
+  library : int;
+  cvm : int;
+  instrumented : int;
+}
+
+let empty = { stack = 0; static_data = 0; library = 0; cvm = 0; instrumented = 0 }
+
+let classify_instruction (i : Binary.instruction) =
+  match (i.origin, i.addressing) with
+  | Binary.Library _, _ -> `Library
+  | Binary.Cvm_runtime, _ -> `Cvm
+  | Binary.App_text, Binary.Frame_pointer -> `Stack
+  | Binary.App_text, Binary.Global_pointer -> `Static
+  | Binary.App_text, Binary.Computed ->
+      if i.proven_private then `Stack else `Instrumented
+
+let classify (binary : Binary.t) =
+  List.fold_left
+    (fun acc i ->
+      match classify_instruction i with
+      | `Stack -> { acc with stack = acc.stack + 1 }
+      | `Static -> { acc with static_data = acc.static_data + 1 }
+      | `Library -> { acc with library = acc.library + 1 }
+      | `Cvm -> { acc with cvm = acc.cvm + 1 }
+      | `Instrumented -> { acc with instrumented = acc.instrumented + 1 })
+    empty binary.Binary.instructions
+
+let total c = c.stack + c.static_data + c.library + c.cvm + c.instrumented
+
+let eliminated_fraction c =
+  let n = total c in
+  if n = 0 then 0.0 else float_of_int (n - c.instrumented) /. float_of_int n
+
+let instrumented_sites binary =
+  List.filter_map
+    (fun (i : Binary.instruction) ->
+      match classify_instruction i with `Instrumented -> Some i.site | _ -> None)
+    binary.Binary.instructions
+
+let pp ppf c =
+  Format.fprintf ppf "stack=%d static=%d library=%d cvm=%d instrumented=%d (%.2f%% eliminated)"
+    c.stack c.static_data c.library c.cvm c.instrumented (100.0 *. eliminated_fraction c)

@@ -1,0 +1,28 @@
+(** The static elimination pass of paper section 5.1 (Table 2).
+
+    An instruction is proven non-shared when it addresses through the
+    frame pointer (stack) or the global pointer (static data — safe
+    because the DSM allocates all shared memory dynamically), lives in a
+    shared library or the CVM runtime, or was proven private by the
+    basic-block data-flow analysis. Everything else gets an inserted call
+    to the analysis routine. *)
+
+type classification = {
+  stack : int;
+  static_data : int;
+  library : int;
+  cvm : int;
+  instrumented : int;
+}
+
+val classify : Binary.t -> classification
+
+val total : classification -> int
+
+val eliminated_fraction : classification -> float
+(** The paper's headline: over 99% of loads and stores are eliminated. *)
+
+val instrumented_sites : Binary.t -> string list
+(** Sites of the surviving (instrumented) instructions. *)
+
+val pp : Format.formatter -> classification -> unit

@@ -1,0 +1,209 @@
+(* Memory-model litmus tests over the DSM.
+
+   Classic two-processor shapes (message passing, store buffering,
+   coherence) run on a simulated cluster under a chosen protocol. Because
+   the simulation is deterministic, a single run shows a single
+   interleaving; [explore] sweeps a grid of artificial compute delays and
+   collects the set of outcomes actually observable.
+
+   The interesting assertions mirror the paper's section 6.4 discussion:
+   outcomes forbidden under sequential consistency are observable under
+   LRC when synchronization is missing, and properly synchronized variants
+   admit only SC outcomes under every protocol. *)
+
+type registers = (string * int) list
+
+type test = {
+  name : string;
+  nprocs : int;
+  shared_words : int;
+  (* [body node ~delay] runs one processor; [delay d] burns d abstract
+     nanoseconds so the sweep can reshape the interleaving. Returns the
+     processor's observed registers. *)
+  body : base:int -> Lrc.Dsm.node -> delay:(float -> unit) -> registers;
+}
+
+let run ?(protocol = Lrc.Config.Single_writer) ~delays test =
+  if Array.length delays <> test.nprocs then invalid_arg "Litmus.run: delay per processor";
+  let cfg = { Lrc.Config.default with Lrc.Config.protocol; detect = false } in
+  let cluster = Lrc.Cluster.create ~cfg ~nprocs:test.nprocs ~pages:4 () in
+  let base = Lrc.Cluster.alloc cluster (test.shared_words * 8) ~name:"litmus" in
+  let observed = Array.make test.nprocs [] in
+  let body node =
+    let pid = Lrc.Dsm.pid node in
+    Lrc.Dsm.barrier node;
+    Lrc.Dsm.idle node delays.(pid);
+    observed.(pid) <- test.body ~base node ~delay:(Lrc.Dsm.idle node);
+    Lrc.Dsm.barrier node
+  in
+  Lrc.Cluster.run cluster ~body;
+  List.concat (Array.to_list observed)
+
+let default_grid =
+  (* delays in simulated ns; enough spread to reorder fetches around
+     remote writes at the default network latency *)
+  [| 0.0; 60_000.0; 250_000.0; 800_000.0; 2_000_000.0 |]
+
+let explore ?protocol ?(grid = default_grid) test =
+  (* sweep every combination of per-processor start delays *)
+  let rec combos = function
+    | 0 -> [ [] ]
+    | n -> List.concat_map (fun rest -> List.map (fun d -> d :: rest) (Array.to_list grid))
+             (combos (n - 1))
+  in
+  combos test.nprocs
+  |> List.map (fun delays -> run ?protocol ~delays:(Array.of_list delays) test)
+  |> List.sort_uniq compare
+
+let observable ?protocol ?grid test outcome =
+  List.mem (List.sort compare outcome)
+    (List.map (List.sort compare) (explore ?protocol ?grid test))
+
+(* ------------------------------------------------------------------ *)
+(* The classic shapes. Word 0 is x, word 1 is y — on separate pages
+   (stride 512 words) so page granularity does not couple them.         *)
+
+let x_word = 0
+let y_word = 512
+
+let addr base word = base + (word * 8)
+
+let message_passing =
+  (* P0: x := 1; y := 1      P1: r1 := y; r2 := x
+     SC forbids r1 = 1 /\ r2 = 0. *)
+  {
+    name = "MP";
+    nprocs = 2;
+    shared_words = 1024;
+    body =
+      (fun ~base node ~delay ->
+        let open Lrc.Dsm in
+        if pid node = 0 then begin
+          write_int node (addr base x_word) 1;
+          delay 100_000.0;
+          write_int node (addr base y_word) 1;
+          []
+        end
+        else begin
+          (* warm both locations so later reads hit cached copies *)
+          ignore (read_int node (addr base y_word));
+          ignore (read_int node (addr base x_word));
+          delay 1_000_000.0;
+          let r1 = read_int node (addr base y_word) in
+          let r2 = read_int node (addr base x_word) in
+          [ ("r1", r1); ("r2", r2) ]
+        end);
+  }
+
+let message_passing_synchronized =
+  (* the same shape with a lock around both sides: every protocol must
+     forbid the weak outcome *)
+  {
+    name = "MP+locks";
+    nprocs = 2;
+    shared_words = 1024;
+    body =
+      (fun ~base node ~delay ->
+        let open Lrc.Dsm in
+        if pid node = 0 then begin
+          with_lock node 1 (fun () ->
+              write_int node (addr base x_word) 1;
+              delay 100_000.0;
+              write_int node (addr base y_word) 1);
+          []
+        end
+        else begin
+          delay 500_000.0;
+          with_lock node 1 (fun () ->
+              let r1 = read_int node (addr base y_word) in
+              let r2 = read_int node (addr base x_word) in
+              [ ("r1", r1); ("r2", r2) ])
+        end);
+  }
+
+let store_buffering =
+  (* P0: x := 1; r1 := y     P1: y := 1; r2 := x
+     SC forbids r1 = 0 /\ r2 = 0. *)
+  {
+    name = "SB";
+    nprocs = 2;
+    shared_words = 1024;
+    body =
+      (fun ~base node ~delay ->
+        let open Lrc.Dsm in
+        if pid node = 0 then begin
+          (* warm y so the read does not fetch a fresh copy *)
+          ignore (read_int node (addr base y_word));
+          delay 200_000.0;
+          write_int node (addr base x_word) 1;
+          let r1 = read_int node (addr base y_word) in
+          [ ("r1", r1) ]
+        end
+        else begin
+          ignore (read_int node (addr base x_word));
+          delay 200_000.0;
+          write_int node (addr base y_word) 1;
+          let r2 = read_int node (addr base x_word) in
+          [ ("r2", r2) ]
+        end);
+  }
+
+let coherence_rr =
+  (* P0: x := 1; x := 2      P1: r1 := x; r2 := x
+     Per-location coherence forbids r1 = 2 /\ r2 = 1 (reading backwards). *)
+  {
+    name = "CoRR";
+    nprocs = 2;
+    shared_words = 1024;
+    body =
+      (fun ~base node ~delay ->
+        let open Lrc.Dsm in
+        if pid node = 0 then begin
+          write_int node (addr base x_word) 1;
+          delay 400_000.0;
+          write_int node (addr base x_word) 2;
+          []
+        end
+        else begin
+          let r1 = read_int node (addr base x_word) in
+          delay 800_000.0;
+          let r2 = read_int node (addr base x_word) in
+          [ ("r1", r1); ("r2", r2) ]
+        end);
+  }
+
+let message_passing_late_publish =
+  (* P0 publishes y under a lock, then writes x with NO synchronization;
+     P1 later takes the lock and reads y, then reads x.
+     Under SC, once r1 = 1 and P1 runs after P0's x-write, r2 must be 1.
+     Under LRC the x-write travels with no notice, so P1's cached copy
+     stays stale: r1 = 1 /\ r2 = 0 — the Figure 5 effect in miniature. *)
+  {
+    name = "MP+late-publish";
+    nprocs = 2;
+    shared_words = 1024;
+    body =
+      (fun ~base node ~delay ->
+        let open Lrc.Dsm in
+        if pid node = 0 then begin
+          with_lock node 1 (fun () -> write_int node (addr base y_word) 1);
+          delay 100_000.0;
+          write_int node (addr base x_word) 1;
+          []
+        end
+        else begin
+          delay 1_500_000.0;
+          let r1 = with_lock node 1 (fun () -> read_int node (addr base y_word)) in
+          let r2 = read_int node (addr base x_word) in
+          [ ("r1", r1); ("r2", r2) ]
+        end);
+  }
+
+let all =
+  [
+    message_passing;
+    message_passing_synchronized;
+    message_passing_late_publish;
+    store_buffering;
+    coherence_rr;
+  ]

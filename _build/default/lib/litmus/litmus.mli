@@ -1,0 +1,50 @@
+(** Memory-model litmus tests over the DSM.
+
+    Classic shapes (message passing, store buffering, read-read
+    coherence) run under a chosen protocol; [explore] sweeps a grid of
+    per-processor delays and collects the set of outcomes the
+    deterministic simulation can actually exhibit. The assertions mirror
+    paper section 6.4: SC-forbidden outcomes become observable under LRC
+    when synchronization is missing, and vanish when it is present. *)
+
+type registers = (string * int) list
+
+type test = {
+  name : string;
+  nprocs : int;
+  shared_words : int;
+  body : base:int -> Lrc.Dsm.node -> delay:(float -> unit) -> registers;
+}
+
+val run : ?protocol:Lrc.Config.protocol -> delays:float array -> test -> registers
+(** One deterministic execution with the given per-processor start
+    delays; returns the union of every processor's observed registers. *)
+
+val default_grid : float array
+
+val explore : ?protocol:Lrc.Config.protocol -> ?grid:float array -> test -> registers list
+(** All distinct outcomes over the delay grid (cartesian product). *)
+
+val observable :
+  ?protocol:Lrc.Config.protocol -> ?grid:float array -> test -> registers -> bool
+
+(** The shapes. x and y live on separate pages. *)
+
+val message_passing : test
+(** SC forbids r1 = 1 and r2 = 0. *)
+
+val message_passing_synchronized : test
+(** Same shape under a lock; every protocol must forbid the weak outcome. *)
+
+val message_passing_late_publish : test
+(** Publication under a lock followed by an unsynchronized write: LRC
+    exhibits r1 = 1 and r2 = 0, which SC forbids at this timing — the
+    Figure 5 effect in miniature. *)
+
+val store_buffering : test
+(** SC forbids r1 = 0 and r2 = 0. *)
+
+val coherence_rr : test
+(** Per-location coherence forbids reading x backwards. *)
+
+val all : test list

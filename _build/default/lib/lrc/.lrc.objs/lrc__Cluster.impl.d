@@ -1,0 +1,1 @@
+lib/lrc/cluster.ml: Array Config List Mem Message Node Proto Racedetect Sim Sync_trace

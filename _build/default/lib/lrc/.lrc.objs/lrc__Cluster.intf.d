@@ -1,0 +1,1 @@
+lib/lrc/cluster.mli: Config Mem Node Proto Racedetect Sim Sync_trace

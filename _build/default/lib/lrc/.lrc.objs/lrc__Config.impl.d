@@ -1,0 +1,1 @@
+lib/lrc/config.ml: Sync_trace

@@ -1,0 +1,1 @@
+lib/lrc/config.mli: Sync_trace

@@ -1,0 +1,1 @@
+lib/lrc/dsm.ml: Int64 Mem Node

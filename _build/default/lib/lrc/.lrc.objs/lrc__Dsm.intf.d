@@ -1,0 +1,1 @@
+lib/lrc/dsm.mli: Node

@@ -1,0 +1,1 @@
+lib/lrc/message.ml: Bytes List Mem Proto

@@ -1,0 +1,1 @@
+lib/lrc/node.ml: Array Bytes Config Fun Hashtbl List Mem Message Option Printf Proto Queue Racedetect Sim Sync_trace Sys

@@ -1,0 +1,1 @@
+lib/lrc/node.mli: Config Mem Message Proto Racedetect Sim Sync_trace

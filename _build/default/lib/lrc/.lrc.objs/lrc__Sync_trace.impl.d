@@ -1,0 +1,1 @@
+lib/lrc/sync_trace.ml: Array Hashtbl List Option

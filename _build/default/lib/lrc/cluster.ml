@@ -1,0 +1,117 @@
+(* A simulated DSM cluster: the engine, the network, one node per
+   processor, and the run driver that spawns the SPMD application body on
+   every node. *)
+
+type t = {
+  engine : Sim.Engine.t;
+  cost : Sim.Cost.t;
+  stats : Sim.Stats.t;
+  cfg : Config.t;
+  geometry : Mem.Geometry.t;
+  nodes : Node.t array;
+  runtime : Node.runtime;
+  races : Proto.Race.t list ref;
+  trace : (int * Racedetect.Oracle.event) list ref;
+  recorder : Sync_trace.recorder option;
+  symtab : Mem.Symtab.t;
+  mutable alloc_next : int;  (* pre-run shared allocation cursor *)
+}
+
+let create ?(cost = Sim.Cost.default) ?(cfg = Config.default) ~nprocs ~pages () =
+  if nprocs <= 0 then invalid_arg "Cluster.create: need at least one processor";
+  let engine = Sim.Engine.create () in
+  let stats = Sim.Stats.create () in
+  let geometry = Mem.Geometry.of_cost cost ~pages in
+  let races = ref [] in
+  let trace = ref [] in
+  let timed = ref [] in
+  let recorder = if cfg.Config.record_sync then Some (Sync_trace.new_recorder ()) else None in
+  let symtab = Mem.Symtab.create () in
+  let runtime =
+    {
+      Node.engine;
+      cost;
+      stats;
+      cfg;
+      geometry;
+      net = None;
+      races;
+      trace;
+      timed;
+      recorder;
+      symtab;
+    }
+  in
+  let nodes = Array.init nprocs (fun id -> Node.create runtime ~id ~nprocs) in
+  let size_of = Message.size ~with_read_notices:cfg.Config.detect in
+  let rng = Sim.Rng.create ~seed:cfg.Config.seed in
+  let net = Sim.Net.create ~rng engine cost stats ~nodes:nprocs ~size_of in
+  runtime.Node.net <- Some net;
+  Array.iteri
+    (fun id node -> Sim.Net.set_handler net ~node:id (Node.handle_message node))
+    nodes;
+  {
+    engine;
+    cost;
+    stats;
+    cfg;
+    geometry;
+    nodes;
+    runtime;
+    races;
+    trace;
+    recorder;
+    symtab;
+    alloc_next = geometry.Mem.Geometry.base;
+  }
+
+let node t id = t.nodes.(id)
+let nprocs t = Array.length t.nodes
+
+let alloc t ?name ?(align = 0) bytes =
+  (* Pre-run shared allocation, visible to every node (the usual way the
+     applications lay out their shared data before the workers start). *)
+  if bytes < 0 then invalid_arg "Cluster.alloc";
+  let word = t.geometry.Mem.Geometry.word_size in
+  let round v quantum = (v + quantum - 1) / quantum * quantum in
+  let start = if align > 0 then round t.alloc_next align else round t.alloc_next word in
+  let next = start + round bytes word in
+  if next > Mem.Geometry.limit t.geometry then
+    invalid_arg "Cluster.alloc: shared segment exhausted";
+  (match name with
+  | Some name -> Mem.Symtab.register t.symtab ~name ~base:start ~bytes
+  | None -> ());
+  t.alloc_next <- next;
+  (* keep the per-node allocators consistent for later Node.malloc calls *)
+  Array.iter (fun node -> Node.set_alloc_next node next) t.nodes;
+  start
+
+let run t ~body =
+  Array.iter
+    (fun node -> ignore (Sim.Engine.spawn t.engine (fun _pid -> body node)))
+    t.nodes;
+  Sim.Engine.run t.engine
+
+let races t = Proto.Race.dedup !(t.races)
+
+let trace t = List.rev !(t.trace)
+
+let timed_trace t = List.rev !(t.runtime.Node.timed)
+
+let sync_trace t =
+  match t.recorder with Some r -> Some (Sync_trace.of_recorder r) | None -> None
+
+let race_sites t (race : Proto.Race.t) =
+  (* With [retain_sites]: the source sites of both halves of a race. *)
+  let side (interval, kind) =
+    Node.retained_site t.nodes.(interval.Proto.Interval.proc) ~interval ~page:race.page
+      ~word:race.word ~kind
+  in
+  (side race.first, side race.second)
+
+let sim_time t = Sim.Engine.now t.engine
+
+let stats t = t.stats
+let symtab t = t.symtab
+let geometry t = t.geometry
+let config t = t.cfg

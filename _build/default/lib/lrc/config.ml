@@ -1,0 +1,54 @@
+(* Cluster configuration: which coherence protocol to run, whether the
+   race-detection machinery is active, and debugging/replay switches. *)
+
+type protocol =
+  | Single_writer
+      (* CVM's base protocol, used in the paper's prototype: one writable
+         copy per page; ownership travels on write faults *)
+  | Multi_writer
+      (* twin/diff protocol (paper section 6.5): concurrent writers allowed;
+         write summaries travel as word-level diffs *)
+  | Home_based
+      (* home-based LRC (HLRC): every page has a home that receives diff
+         flushes at each release; faults fetch whole pages from the home,
+         gated on a per-page version vector *)
+  | Seq_consistent
+      (* no caching: every access goes to the home node; the reference
+         system for the section 6.4 accuracy discussion (Figure 5) *)
+
+type t = {
+  protocol : protocol;
+  detect : bool;  (* instrument accesses and run detection at barriers *)
+  first_race_only : bool;  (* section 6.4: report only first-epoch races *)
+  stores_from_diffs : bool;
+      (* section 6.5: under the multi-writer protocol, take write bitmaps
+         from diffs instead of store instrumentation (cheaper, but a write
+         of an identical value becomes invisible) *)
+  retain_sites : bool;
+      (* section 6.1's single-run alternative: keep a program-counter
+         (site) per accessed word per interval so races resolve to source
+         sites without a second run — at a storage and runtime cost *)
+  record_trace : bool;  (* log every access/sync event for the oracle *)
+  replay : Sync_trace.t option;  (* enforce a recorded lock-grant order *)
+  record_sync : bool;  (* record lock-grant order for later replay *)
+  seed : int;
+}
+
+let default =
+  {
+    protocol = Single_writer;
+    detect = true;
+    first_race_only = false;
+    stores_from_diffs = false;
+    retain_sites = false;
+    record_trace = false;
+    replay = None;
+    record_sync = false;
+    seed = 42;
+  }
+
+let protocol_name = function
+  | Single_writer -> "single-writer"
+  | Multi_writer -> "multi-writer"
+  | Home_based -> "home-based"
+  | Seq_consistent -> "sequential-consistency"

@@ -1,0 +1,42 @@
+(** Cluster configuration: coherence protocol, detection switches, and
+    replay/debug options. *)
+
+type protocol =
+  | Single_writer
+      (** CVM's base protocol, used by the paper's prototype: one writable
+          copy per page; ownership travels on write faults. *)
+  | Multi_writer
+      (** Twin/diff protocol (paper section 6.5): concurrent writers
+          allowed; write summaries travel as word-level diffs. *)
+  | Home_based
+      (** Home-based LRC (HLRC): every page has a home that receives diff
+          flushes at each release; faults fetch whole pages from the home,
+          gated on a per-page version vector. *)
+  | Seq_consistent
+      (** No caching: every access goes to the home node. The reference
+          system for the section 6.4 accuracy discussion (Figure 5). *)
+
+type t = {
+  protocol : protocol;
+  detect : bool;  (** instrument accesses and run detection at barriers *)
+  first_race_only : bool;  (** section 6.4: report only first-epoch races *)
+  stores_from_diffs : bool;
+      (** section 6.5: under the multi-writer protocol, take write bitmaps
+          from diffs instead of store instrumentation — cheaper, but a
+          same-value overwrite becomes invisible *)
+  retain_sites : bool;
+      (** Section 6.1's single-run alternative: retain a site ("program
+          counter") per accessed word per interval, so races resolve to
+          source sites without a second run — at a storage and runtime
+          cost the paper deemed prohibitive. Measured by the
+          [site-retention] ablation. *)
+  record_trace : bool;  (** log every access/sync event for the oracle *)
+  replay : Sync_trace.t option;  (** enforce a recorded lock-grant order *)
+  record_sync : bool;  (** record lock-grant order for later replay *)
+  seed : int;
+}
+
+val default : t
+(** Single-writer protocol, detection on, everything else off. *)
+
+val protocol_name : protocol -> string

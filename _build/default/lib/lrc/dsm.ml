@@ -1,0 +1,64 @@
+(* Application-facing DSM API — what the four applications (and any user
+   program) code against. This is the CVM user interface: dynamically
+   allocated shared memory, word accesses, locks and barriers, plus a
+   [compute]/[touch_private] pair with which SPMD programs model their
+   private computation under the cost model. *)
+
+type node = Node.t
+
+let pid = Node.id
+let nprocs = Node.nprocs
+
+let malloc node ?name ?align bytes = Node.malloc node ?name ?align bytes
+
+let read_int64 node ?site addr = Node.read_word node ?site addr
+let write_int64 node ?site addr value = Node.write_word node ?site addr value
+
+let read_float node ?site addr = Int64.float_of_bits (Node.read_word node ?site addr)
+
+let write_float node ?site addr value =
+  Node.write_word node ?site addr (Int64.bits_of_float value)
+
+let read_int node ?site addr = Int64.to_int (Node.read_word node ?site addr)
+let write_int node ?site addr value = Node.write_word node ?site addr (Int64.of_int value)
+
+let lock = Node.lock
+let unlock = Node.unlock
+
+let with_lock node lock_id f =
+  lock node lock_id;
+  match f () with
+  | result ->
+      unlock node lock_id;
+      result
+  | exception exn ->
+      unlock node lock_id;
+      raise exn
+
+let barrier = Node.barrier
+
+let consolidate node =
+  (* Section 6.3: global-state consolidation for programs that synchronize
+     without barriers — implemented, as in CVM's garbage-collection path,
+     as an internal global synchronization that runs the same detection. *)
+  Node.barrier node
+
+let compute = Node.compute
+let idle = Node.idle
+let touch_private = Node.touch_private
+
+(* Block/word helpers used heavily by the applications. *)
+
+let word_size node = (Node.geometry node).Mem.Geometry.word_size
+
+let addr_of_index node base index = base + (index * word_size node)
+
+let read_float_at node ?site base index = read_float node ?site (addr_of_index node base index)
+
+let write_float_at node ?site base index value =
+  write_float node ?site (addr_of_index node base index) value
+
+let read_int_at node ?site base index = read_int node ?site (addr_of_index node base index)
+
+let write_int_at node ?site base index value =
+  write_int node ?site (addr_of_index node base index) value

@@ -1,0 +1,30 @@
+(** Synchronization-order recording and replay (the ROLT-style mechanism
+    of paper sections 6.1 and 7).
+
+    A first run records the per-lock grant order; a replay run delays each
+    grant until it matches the recording, so a second execution sees the
+    same synchronization order even under perturbed timing — the property
+    that makes the two-run program-counter identification sound. *)
+
+type t
+
+type recorder
+
+val new_recorder : unit -> recorder
+
+val record : recorder -> lock:int -> grantee:int -> unit
+(** Called by the lock manager at each grant (forward). *)
+
+val of_recorder : recorder -> t
+(** Freeze a recording into a replayable trace. *)
+
+val next_grantee : t -> lock:int -> int option
+(** Who must be granted this lock next; [None] past the recorded history
+    (the manager falls back to FIFO). *)
+
+val advance : t -> lock:int -> unit
+
+val reset : t -> unit
+(** Rewind the replay cursors so the trace can be replayed again. *)
+
+val total_grants : t -> int

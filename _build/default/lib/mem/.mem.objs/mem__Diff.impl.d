@@ -1,0 +1,1 @@
+lib/mem/diff.ml: Array Bitmap Page

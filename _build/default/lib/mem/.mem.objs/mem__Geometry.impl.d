@@ -1,0 +1,1 @@
+lib/mem/geometry.ml: Sim

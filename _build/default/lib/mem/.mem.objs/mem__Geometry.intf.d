@@ -1,0 +1,1 @@
+lib/mem/geometry.mli: Sim

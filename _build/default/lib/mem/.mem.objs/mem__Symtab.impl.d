@@ -1,0 +1,1 @@
+lib/mem/symtab.ml: Format List Printf

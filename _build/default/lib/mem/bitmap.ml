@@ -1,0 +1,94 @@
+(* Per-page access bitmaps: one bit per word of a page, recording which
+   words an interval read or wrote. These are the structures the detector
+   compares at barriers to distinguish false sharing from true races. *)
+
+type t = { bits : Bytes.t; nbits : int }
+
+let create nbits =
+  if nbits < 0 then invalid_arg "Bitmap.create";
+  { bits = Bytes.make ((nbits + 7) / 8) '\000'; nbits }
+
+let length t = t.nbits
+
+let check_index t i = if i < 0 || i >= t.nbits then invalid_arg "Bitmap: index out of range"
+
+let set t i =
+  check_index t i;
+  let byte = i lsr 3 and bit = i land 7 in
+  Bytes.unsafe_set t.bits byte
+    (Char.unsafe_chr (Char.code (Bytes.unsafe_get t.bits byte) lor (1 lsl bit)))
+
+let get t i =
+  check_index t i;
+  Char.code (Bytes.unsafe_get t.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let clear_all t = Bytes.fill t.bits 0 (Bytes.length t.bits) '\000'
+
+let any_set t =
+  let n = Bytes.length t.bits in
+  let rec scan i = i < n && (Bytes.unsafe_get t.bits i <> '\000' || scan (i + 1)) in
+  scan 0
+
+let is_empty t = not (any_set t)
+
+let popcount_byte c =
+  let rec count n acc = if n = 0 then acc else count (n lsr 1) (acc + (n land 1)) in
+  count (Char.code c) 0
+
+let cardinal t =
+  let total = ref 0 in
+  Bytes.iter (fun c -> total := !total + popcount_byte c) t.bits;
+  !total
+
+let same_length a b =
+  if a.nbits <> b.nbits then invalid_arg "Bitmap: length mismatch"
+
+let intersects a b =
+  same_length a b;
+  let n = Bytes.length a.bits in
+  let rec scan i =
+    i < n
+    && (Char.code (Bytes.unsafe_get a.bits i) land Char.code (Bytes.unsafe_get b.bits i) <> 0
+       || scan (i + 1))
+  in
+  scan 0
+
+let inter_indices a b =
+  same_length a b;
+  let hits = ref [] in
+  for i = a.nbits - 1 downto 0 do
+    if get a i && get b i then hits := i :: !hits
+  done;
+  !hits
+
+let inter a b =
+  same_length a b;
+  let out = create a.nbits in
+  for i = 0 to Bytes.length a.bits - 1 do
+    Bytes.unsafe_set out.bits i
+      (Char.unsafe_chr
+         (Char.code (Bytes.unsafe_get a.bits i) land Char.code (Bytes.unsafe_get b.bits i)))
+  done;
+  out
+
+let union_into ~dst src =
+  same_length dst src;
+  for i = 0 to Bytes.length dst.bits - 1 do
+    Bytes.unsafe_set dst.bits i
+      (Char.unsafe_chr
+         (Char.code (Bytes.unsafe_get dst.bits i) lor Char.code (Bytes.unsafe_get src.bits i)))
+  done
+
+let iter_set t f =
+  for i = 0 to t.nbits - 1 do
+    if get t i then f i
+  done
+
+let copy t = { bits = Bytes.copy t.bits; nbits = t.nbits }
+
+let size_bytes t = Bytes.length t.bits
+
+let set_indices t = List.of_seq (Seq.filter (get t) (Seq.init t.nbits Fun.id))
+
+let pp ppf t =
+  Format.fprintf ppf "{%s}" (String.concat "," (List.map string_of_int (set_indices t)))

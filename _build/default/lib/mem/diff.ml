@@ -1,0 +1,35 @@
+(* Word-level diffs, as in multi-writer LRC protocols (TreadMarks, CVM's
+   multi-writer mode): the per-page summary of modifications made during an
+   interval, computed by comparing the page against its twin. *)
+
+type t = { page : int; words : int array; values : int64 array }
+
+let create ~page ~twin ~current =
+  if Page.words twin <> Page.words current then invalid_arg "Diff.create: size mismatch";
+  let changed = ref [] in
+  for word = Page.words current - 1 downto 0 do
+    if Page.get_int64 twin word <> Page.get_int64 current word then changed := word :: !changed
+  done;
+  let words = Array.of_list !changed in
+  let values = Array.map (Page.get_int64 current) words in
+  { page; words; values }
+
+let page t = t.page
+
+let word_count t = Array.length t.words
+
+let is_empty t = word_count t = 0
+
+let apply t target =
+  Array.iteri (fun i word -> Page.set_int64 target word t.values.(i)) t.words
+
+let size_bytes t = 8 + (word_count t * 12)
+(* header + (word index, value) pairs; matches CVM's runlength encoding
+   order of magnitude without modelling the exact layout *)
+
+let touched_words t = Array.to_list t.words
+
+let to_bitmap t ~nbits =
+  let bitmap = Bitmap.create nbits in
+  Array.iter (Bitmap.set bitmap) t.words;
+  bitmap

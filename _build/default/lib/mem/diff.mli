@@ -1,0 +1,24 @@
+(** Word-level diffs: the per-page summary of the modifications an interval
+    made, computed against the page's twin (multi-writer LRC). Applying
+    every diff in happens-before order reconstructs the page. *)
+
+type t
+
+val create : page:int -> twin:Page.t -> current:Page.t -> t
+(** Words whose value differs between [twin] and [current]. *)
+
+val page : t -> int
+val word_count : t -> int
+val is_empty : t -> bool
+
+val apply : t -> Page.t -> unit
+(** Write the diff's words into the target page. *)
+
+val size_bytes : t -> int
+(** Approximate wire size (header + word/value pairs). *)
+
+val touched_words : t -> int list
+
+val to_bitmap : t -> nbits:int -> Bitmap.t
+(** Write bitmap implied by the diff — the §6.5 optimization that lets a
+    multi-writer protocol drop store instrumentation. *)

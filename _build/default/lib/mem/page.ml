@@ -1,0 +1,35 @@
+(* A page is raw bytes with word-granularity accessors. Words hold either
+   int64 or float values (the float is stored as its bit pattern), which is
+   enough for all four applications: TSP uses integers, SOR/FFT/Water use
+   doubles. *)
+
+type t = { data : Bytes.t; word_size : int }
+
+let create ~page_size ~word_size =
+  if page_size mod word_size <> 0 then invalid_arg "Page.create";
+  if word_size <> 8 then invalid_arg "Page.create: only 8-byte words are supported";
+  { data = Bytes.make page_size '\000'; word_size }
+
+let words t = Bytes.length t.data / t.word_size
+
+let check t word = if word < 0 || word >= words t then invalid_arg "Page: word out of range"
+
+let get_int64 t word =
+  check t word;
+  Bytes.get_int64_le t.data (word * t.word_size)
+
+let set_int64 t word v =
+  check t word;
+  Bytes.set_int64_le t.data (word * t.word_size) v
+
+let get_float t word = Int64.float_of_bits (get_int64 t word)
+
+let set_float t word v = set_int64 t word (Int64.bits_of_float v)
+
+let copy t = { data = Bytes.copy t.data; word_size = t.word_size }
+
+let blit_from ~src t = Bytes.blit src.data 0 t.data 0 (Bytes.length t.data)
+
+let raw t = t.data
+
+let equal a b = Bytes.equal a.data b.data

@@ -1,0 +1,25 @@
+(** A page of simulated shared memory with word-granularity accessors.
+
+    Words are 8 bytes and hold either an int64 or a float (stored as its
+    bit pattern) — enough for all four applications (TSP uses integers;
+    SOR, FFT and Water use doubles). *)
+
+type t
+
+val create : page_size:int -> word_size:int -> t
+(** All-zero page. Only 8-byte words are supported. *)
+
+val words : t -> int
+val get_int64 : t -> int -> int64
+val set_int64 : t -> int -> int64 -> unit
+val get_float : t -> int -> float
+val set_float : t -> int -> float -> unit
+
+val copy : t -> t
+(** Used to make twins in the multi-writer protocol. *)
+
+val blit_from : src:t -> t -> unit
+(** Overwrite contents with [src] (page fetch). *)
+
+val raw : t -> Bytes.t
+val equal : t -> t -> bool

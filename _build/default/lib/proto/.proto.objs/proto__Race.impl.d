@@ -1,0 +1,1 @@
+lib/proto/race.ml: Format Interval List Printf

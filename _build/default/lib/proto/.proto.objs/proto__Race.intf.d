@@ -1,0 +1,1 @@
+lib/proto/race.mli: Format Interval

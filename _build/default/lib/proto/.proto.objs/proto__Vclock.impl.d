@@ -1,0 +1,1 @@
+lib/proto/vclock.ml: Array Format String

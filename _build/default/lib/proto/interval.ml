@@ -1,0 +1,71 @@
+(* Process intervals — the unit of ordering in LRC.
+
+   A new interval starts at every acquire and every release. The interval
+   record is exactly the structure CVM ships on synchronization messages:
+   an id, a version vector, write notices (pages written), and — the
+   paper's modification (ii) — read notices (pages read). Word-level access
+   bitmaps and multi-writer diffs stay with the creating processor and are
+   fetched on demand (bitmaps in the barrier's extra round, diffs on page
+   faults). *)
+
+type id = { proc : int; index : int }
+
+let pp_id ppf id = Format.fprintf ppf "s_%d^%d" id.proc id.index
+
+type t = {
+  id : id;
+  vc : Vclock.t;  (* creator's vector time at creation; vc.(proc) = index *)
+  epoch : int;  (* barrier epoch the interval belongs to *)
+  mutable write_pages : int list;  (* write notices *)
+  mutable read_pages : int list;  (* read notices (race detection only) *)
+  mutable closed : bool;
+}
+
+let create ~proc ~index ~vc ~epoch =
+  if Vclock.get vc proc <> index then invalid_arg "Interval.create: vc/index mismatch";
+  { id = { proc; index }; vc; epoch; write_pages = []; read_pages = []; closed = false }
+
+let id t = t.id
+let proc t = t.id.proc
+let index t = t.id.index
+
+let add_write_page t page =
+  if not (List.mem page t.write_pages) then t.write_pages <- page :: t.write_pages
+
+let add_read_page t page =
+  if not (List.mem page t.read_pages) then t.read_pages <- page :: t.read_pages
+
+let precedes a b =
+  (* sigma_p^i happens-before sigma_q^j iff q had seen p's interval i when
+     it created interval j: the constant-time, two-integer comparison the
+     paper relies on. *)
+  Vclock.get b.vc a.id.proc >= a.id.index
+
+let concurrent a b = (not (precedes a b)) && not (precedes b a)
+
+let overlapping_pages a b =
+  (* Pages through which the pair could race: written by both, or written
+     by one and read by the other. *)
+  let inter xs ys = List.filter (fun x -> List.mem x ys) xs in
+  let ww = inter a.write_pages b.write_pages in
+  let rw = inter a.read_pages b.write_pages in
+  let wr = inter a.write_pages b.read_pages in
+  List.sort_uniq compare (ww @ rw @ wr)
+
+let notice_count t = List.length t.write_pages + List.length t.read_pages
+
+let size_bytes ~with_read_notices t =
+  (* id + epoch + version vector + 4 bytes per notice; read and write
+     notices are the same size, as in the paper. *)
+  let read_part = if with_read_notices then 4 * List.length t.read_pages else 0 in
+  12 + Vclock.size_bytes t.vc + (4 * List.length t.write_pages) + read_part
+
+let read_notice_bytes t = 4 * List.length t.read_pages
+
+let compare_ids a b =
+  match compare a.proc b.proc with 0 -> compare a.index b.index | c -> c
+
+let pp ppf t =
+  Format.fprintf ppf "s_%d^%d(e%d w:[%s] r:[%s])" t.id.proc t.id.index t.epoch
+    (String.concat ";" (List.map string_of_int t.write_pages))
+    (String.concat ";" (List.map string_of_int t.read_pages))

@@ -1,0 +1,51 @@
+(* Race reports. The system prints the shared-segment address of the
+   affected variable together with the interval indexes (paper §6.1);
+   source sites are attached when the instrumentation's watch mode has
+   program-counter information for the address. *)
+
+type access_kind = Read | Write
+
+let pp_kind ppf = function
+  | Read -> Format.pp_print_string ppf "read"
+  | Write -> Format.pp_print_string ppf "write"
+
+type t = {
+  addr : int;  (* shared-segment byte address of the racy word *)
+  page : int;
+  word : int;  (* word index within the page *)
+  first : Interval.id * access_kind;
+  second : Interval.id * access_kind;
+  epoch : int;
+}
+
+let kind_rank = function Write -> 0 | Read -> 1
+
+let normalize t =
+  (* Canonical order inside the pair so that duplicate detection and
+     set-comparison against the oracle are stable. *)
+  let (ia, ka), (ib, kb) = (t.first, t.second) in
+  if
+    Interval.compare_ids ia ib > 0
+    || (Interval.compare_ids ia ib = 0 && kind_rank ka > kind_rank kb)
+  then { t with first = (ib, kb); second = (ia, ka) }
+  else t
+
+let compare a b =
+  let a = normalize a and b = normalize b in
+  compare
+    (a.addr, fst a.first, snd a.first, fst a.second, snd a.second)
+    (b.addr, fst b.first, snd b.first, fst b.second, snd b.second)
+
+let equal a b = compare a b = 0
+
+let is_write_write t = snd t.first = Write && snd t.second = Write
+
+let pp_named ~name_of ppf t =
+  let (ia, ka), (ib, kb) = (t.first, t.second) in
+  Format.fprintf ppf "data race at %s (page %d word %d, epoch %d): %a by %a vs %a by %a"
+    (name_of t.addr) t.page t.word t.epoch pp_kind ka Interval.pp_id ia pp_kind kb
+    Interval.pp_id ib
+
+let pp ppf t = pp_named ~name_of:(Printf.sprintf "0x%08x") ppf t
+
+let dedup races = List.sort_uniq compare (List.map normalize races)

@@ -1,0 +1,30 @@
+(** Data-race reports: a racy word plus the pair of concurrent intervals
+    that accessed it, at least one access being a write. *)
+
+type access_kind = Read | Write
+
+val pp_kind : Format.formatter -> access_kind -> unit
+
+type t = {
+  addr : int;
+  page : int;
+  word : int;
+  first : Interval.id * access_kind;
+  second : Interval.id * access_kind;
+  epoch : int;
+}
+
+val normalize : t -> t
+(** Canonical intra-pair order, so reports compare stably. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val is_write_write : t -> bool
+val pp : Format.formatter -> t -> unit
+
+val pp_named : name_of:(int -> string) -> Format.formatter -> t -> unit
+(** Like {!pp} but resolving the racy address through a symbol table
+    (e.g. {!Mem.Symtab.name_of}). *)
+
+val dedup : t list -> t list
+(** Normalized, sorted, duplicate-free. *)

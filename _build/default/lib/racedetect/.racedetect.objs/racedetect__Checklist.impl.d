@@ -1,0 +1,1 @@
+lib/racedetect/checklist.ml: Format List Proto String

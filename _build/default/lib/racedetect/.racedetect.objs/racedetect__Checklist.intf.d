@@ -1,0 +1,1 @@
+lib/racedetect/checklist.mli: Format Proto

@@ -1,0 +1,1 @@
+lib/racedetect/detector.ml: Array Checklist List Mem Proto Race Sim

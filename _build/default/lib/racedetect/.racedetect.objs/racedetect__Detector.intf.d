@@ -1,0 +1,1 @@
+lib/racedetect/detector.mli: Checklist Mem Proto Sim

@@ -1,0 +1,1 @@
+lib/racedetect/oracle.ml: Array Hashtbl List Proto

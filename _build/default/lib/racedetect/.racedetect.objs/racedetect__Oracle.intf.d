@@ -1,0 +1,1 @@
+lib/racedetect/oracle.mli: Proto

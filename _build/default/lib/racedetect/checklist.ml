@@ -1,0 +1,23 @@
+(* Check-list entries: a pair of concurrent intervals whose page-access
+   lists overlap, plus the overlapping pages. The barrier release message
+   carries this list to every process; each process answers with the
+   word-level bitmaps the master needs for step 5. *)
+
+type entry = { a : Proto.Interval.id; b : Proto.Interval.id; pages : int list }
+
+let bitmap_requests entries =
+  (* Distinct (interval, page) bitmaps the master must retrieve. *)
+  let add acc id pages = List.fold_left (fun acc page -> (id, page) :: acc) acc pages in
+  List.fold_left (fun acc e -> add (add acc e.a e.pages) e.b e.pages) [] entries
+  |> List.sort_uniq compare
+
+let requests_for_proc entries ~proc =
+  List.filter (fun ((id : Proto.Interval.id), _) -> id.proc = proc) (bitmap_requests entries)
+
+let size_bytes entries =
+  (* Two ids + a page list per entry. *)
+  List.fold_left (fun acc e -> acc + 16 + (4 * List.length e.pages)) 0 entries
+
+let pp ppf e =
+  Format.fprintf ppf "(%a,%a)@[pages [%s]@]" Proto.Interval.pp_id e.a Proto.Interval.pp_id e.b
+    (String.concat ";" (List.map string_of_int e.pages))

@@ -1,0 +1,15 @@
+(** Check-list entries: concurrent interval pairs with overlapping page
+    accesses, shipped on barrier release messages so processes can return
+    the word-level bitmaps the master needs. *)
+
+type entry = { a : Proto.Interval.id; b : Proto.Interval.id; pages : int list }
+
+val bitmap_requests : entry list -> (Proto.Interval.id * int) list
+(** Distinct (interval, page) bitmaps the master must retrieve. *)
+
+val requests_for_proc : entry list -> proc:int -> (Proto.Interval.id * int) list
+
+val size_bytes : entry list -> int
+(** Wire size of the check list on the barrier release message. *)
+
+val pp : Format.formatter -> entry -> unit

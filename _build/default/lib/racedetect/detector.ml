@@ -1,0 +1,125 @@
+(* The paper's race-detection algorithm, steps 2-5 (section 4), as pure
+   functions over interval records. The barrier master drives them:
+
+   2. find all pairs of concurrent intervals in the epoch (constant-time
+      version-vector comparisons);
+   3. winnow to pairs whose read/write page lists overlap -> check list;
+   4. (driven by the LRC barrier: an extra message round retrieves the
+      word-level bitmaps for everything on the check list);
+   5. compare bitmaps; read-write or write-write overlap is a data race. *)
+
+type bitmap_pair = { reads : Mem.Bitmap.t; writes : Mem.Bitmap.t }
+
+type bitmap_source = Proto.Interval.id -> page:int -> bitmap_pair
+
+let concurrent_pairs ?stats intervals =
+  (* Only cross-processor pairs need a comparison: intervals of one
+     processor are totally ordered by program order. The count of
+     comparisons performed is what bounds the O(i^2 p^2) term. *)
+  let count = ref 0 in
+  let pairs = ref [] in
+  let arr = Array.of_list intervals in
+  let n = Array.length arr in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let a = arr.(i) and b = arr.(j) in
+      if Proto.Interval.proc a <> Proto.Interval.proc b then begin
+        incr count;
+        if Proto.Interval.concurrent a b then pairs := (a, b) :: !pairs
+      end
+    done
+  done;
+  (match stats with
+  | Some s -> s.Sim.Stats.interval_comparisons <- s.Sim.Stats.interval_comparisons + !count
+  | None -> ());
+  List.rev !pairs
+
+(* Section 6.2: "we could perform the comparison in time linear with
+   respect to the number of pages in the system by implementing page lists
+   using bitmaps". The list-based version above is what the prototype ran
+   (page lists are usually tiny); this one is the optimization, used when
+   intervals touch many pages. *)
+let page_bitmaps ~npages interval =
+  let reads = Mem.Bitmap.create npages and writes = Mem.Bitmap.create npages in
+  List.iter (Mem.Bitmap.set reads) interval.Proto.Interval.read_pages;
+  List.iter (Mem.Bitmap.set writes) interval.Proto.Interval.write_pages;
+  (reads, writes)
+
+let overlapping_pages_linear ~npages a b =
+  let read_a, write_a = page_bitmaps ~npages a in
+  let read_b, write_b = page_bitmaps ~npages b in
+  (* (Wa & Wb) | (Ra & Wb) | (Rb & Wa): three word-parallel passes over
+     npages bits — the same candidates as
+     {!Proto.Interval.overlapping_pages}, in linear time *)
+  let overlap = Mem.Bitmap.inter write_a write_b in
+  Mem.Bitmap.union_into ~dst:overlap (Mem.Bitmap.inter read_a write_b);
+  Mem.Bitmap.union_into ~dst:overlap (Mem.Bitmap.inter read_b write_a);
+  Mem.Bitmap.set_indices overlap
+
+let check_list ?stats pairs =
+  let entries =
+    List.filter_map
+      (fun (a, b) ->
+        match Proto.Interval.overlapping_pages a b with
+        | [] -> None
+        | pages ->
+            Some { Checklist.a = Proto.Interval.id a; b = Proto.Interval.id b; pages })
+      pairs
+  in
+  (match stats with
+  | Some s ->
+      s.Sim.Stats.concurrent_pairs <- s.Sim.Stats.concurrent_pairs + List.length pairs;
+      s.Sim.Stats.overlapping_pairs <- s.Sim.Stats.overlapping_pairs + List.length entries;
+      let involved =
+        List.concat_map (fun (e : Checklist.entry) -> [ e.a; e.b ]) entries
+        |> List.sort_uniq compare
+      in
+      s.Sim.Stats.intervals_in_overlap <- s.Sim.Stats.intervals_in_overlap + List.length involved
+  | None -> ());
+  entries
+
+let races_of_entry ?stats ~geometry ~epoch ~source (entry : Checklist.entry) =
+  let open Proto in
+  let races = ref [] in
+  let emit page word first second =
+    let addr = Mem.Geometry.addr_of geometry ~page ~word in
+    races := { Race.addr; page; word; first; second; epoch } :: !races
+  in
+  List.iter
+    (fun page ->
+      let ba = source entry.a ~page and bb = source entry.b ~page in
+      (match stats with
+      | Some s -> s.Sim.Stats.bitmap_comparisons <- s.Sim.Stats.bitmap_comparisons + 1
+      | None -> ());
+      List.iter
+        (fun word -> emit page word (entry.a, Race.Write) (entry.b, Race.Write))
+        (Mem.Bitmap.inter_indices ba.writes bb.writes);
+      List.iter
+        (fun word -> emit page word (entry.a, Race.Read) (entry.b, Race.Write))
+        (Mem.Bitmap.inter_indices ba.reads bb.writes);
+      List.iter
+        (fun word -> emit page word (entry.a, Race.Write) (entry.b, Race.Read))
+        (Mem.Bitmap.inter_indices ba.writes bb.reads))
+    entry.pages;
+  List.rev !races
+
+let analyze_epoch ?stats ~geometry ~epoch ~source intervals =
+  let pairs = concurrent_pairs ?stats intervals in
+  let entries = check_list ?stats pairs in
+  let races =
+    List.concat_map (races_of_entry ?stats ~geometry ~epoch ~source) entries
+    |> Proto.Race.dedup
+  in
+  (entries, races)
+
+let first_races races =
+  (* Section 6.4: barriers are semantically releases to the master followed
+     by releases to everyone, so any race in a prior epoch affects every
+     later race; all "first" races share the earliest racy epoch. *)
+  match races with
+  | [] -> []
+  | _ ->
+      let first_epoch =
+        List.fold_left (fun acc (r : Proto.Race.t) -> min acc r.epoch) max_int races
+      in
+      List.filter (fun (r : Proto.Race.t) -> r.epoch = first_epoch) races

@@ -1,0 +1,134 @@
+(* Independent offline happens-before race oracle.
+
+   This is a classical post-mortem vector-clock race detector over a full
+   access trace — essentially the Adve et al. scheme the paper cites as the
+   off-line alternative. It shares no code with the online detector, so the
+   test suite can check the online detector's output against it on
+   arbitrary executions: both must report exactly the same racy words. *)
+
+type event =
+  | Read of int  (* word-aligned shared byte address *)
+  | Write of int
+  | Acquire of int  (* lock id, logged at grant time *)
+  | Release of int
+  | Barrier
+
+type trace = (int * event) list
+(** (proc, event), in the global order the execution produced them. *)
+
+type access = { proc : int; clock : Proto.Vclock.t; kind : Proto.Race.access_kind }
+
+type state = {
+  nprocs : int;
+  clocks : Proto.Vclock.t array;  (* one per proc *)
+  locks : (int, Proto.Vclock.t) Hashtbl.t;
+  accesses : (int, access list ref) Hashtbl.t;  (* addr -> accesses *)
+  mutable barrier_pending : (int, unit) Hashtbl.t;  (* procs waiting *)
+}
+
+let create ~nprocs =
+  {
+    nprocs;
+    clocks =
+      Array.init nprocs (fun p ->
+          (* own component starts at 1 (the first "interval"), so that two
+             never-synchronized accesses compare as concurrent — with all
+             zeros the epoch-style [ordered] check would call them ordered
+             both ways *)
+          let clock = Proto.Vclock.create nprocs in
+          Proto.Vclock.set clock p 1;
+          clock);
+    locks = Hashtbl.create 16;
+    accesses = Hashtbl.create 64;
+    barrier_pending = Hashtbl.create 8;
+  }
+
+let record_access state proc addr kind =
+  let slot =
+    match Hashtbl.find_opt state.accesses addr with
+    | Some slot -> slot
+    | None ->
+        let slot = ref [] in
+        Hashtbl.add state.accesses addr slot;
+        slot
+  in
+  slot := { proc; clock = Proto.Vclock.copy state.clocks.(proc); kind } :: !slot
+
+let apply_barrier state =
+  (* All procs have arrived: merge every clock into every clock, then tick
+     each proc so post-barrier accesses are ordered after pre-barrier ones. *)
+  let merged = Proto.Vclock.create state.nprocs in
+  Array.iter (fun c -> Proto.Vclock.merge_into ~dst:merged c) state.clocks;
+  Array.iteri
+    (fun p _ ->
+      Array.blit merged 0 state.clocks.(p) 0 state.nprocs;
+      Proto.Vclock.incr state.clocks.(p) p)
+    state.clocks;
+  Hashtbl.reset state.barrier_pending
+
+let step state (proc, event) =
+  if Hashtbl.mem state.barrier_pending proc then
+    invalid_arg "Oracle: event from a process blocked at a barrier";
+  match event with
+  | Read addr -> record_access state proc addr Proto.Race.Read
+  | Write addr -> record_access state proc addr Proto.Race.Write
+  | Release lock ->
+      let held =
+        match Hashtbl.find_opt state.locks lock with
+        | Some c -> c
+        | None -> Proto.Vclock.create state.nprocs
+      in
+      Proto.Vclock.merge_into ~dst:held state.clocks.(proc);
+      Hashtbl.replace state.locks lock held;
+      Proto.Vclock.incr state.clocks.(proc) proc
+  | Acquire lock ->
+      (match Hashtbl.find_opt state.locks lock with
+      | Some held -> Proto.Vclock.merge_into ~dst:state.clocks.(proc) held
+      | None -> ());
+      Proto.Vclock.incr state.clocks.(proc) proc
+  | Barrier ->
+      Hashtbl.replace state.barrier_pending proc ();
+      if Hashtbl.length state.barrier_pending = state.nprocs then apply_barrier state
+
+let ordered (a : access) (b : access) =
+  (* a happens-before b iff b's clock has seen a's component. *)
+  Proto.Vclock.get b.clock a.proc >= Proto.Vclock.get a.clock a.proc
+
+type racy_word = {
+  addr : int;
+  procs : int * int;
+  kinds : Proto.Race.access_kind * Proto.Race.access_kind;
+}
+
+let racy_pair a b =
+  a.proc <> b.proc
+  && (a.kind = Proto.Race.Write || b.kind = Proto.Race.Write)
+  && (not (ordered a b))
+  && not (ordered b a)
+
+let normalize_racy r =
+  let (p1, p2), (k1, k2) = (r.procs, r.kinds) in
+  if p1 > p2 then { r with procs = (p2, p1); kinds = (k2, k1) } else r
+
+let races_of_trace ~nprocs trace =
+  let state = create ~nprocs in
+  List.iter (step state) trace;
+  let results = ref [] in
+  Hashtbl.iter
+    (fun addr slot ->
+      let accesses = Array.of_list !slot in
+      let n = Array.length accesses in
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          let a = accesses.(i) and b = accesses.(j) in
+          if racy_pair a b then
+            results :=
+              normalize_racy { addr; procs = (a.proc, b.proc); kinds = (a.kind, b.kind) }
+              :: !results
+        done
+      done)
+    state.accesses;
+  List.sort_uniq compare !results
+
+let racy_addrs ~nprocs trace =
+  races_of_trace ~nprocs trace |> List.map (fun r -> r.addr) |> List.sort_uniq compare

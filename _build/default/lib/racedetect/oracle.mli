@@ -1,0 +1,31 @@
+(** Independent offline happens-before race oracle.
+
+    A classical post-mortem vector-clock detector over a full access trace
+    (the Adve et al. style the paper cites). It shares no code with the
+    online detector, so tests can require that both report exactly the same
+    racy words on the same execution. *)
+
+type event =
+  | Read of int  (** word-aligned shared byte address *)
+  | Write of int
+  | Acquire of int  (** lock id, logged at grant time *)
+  | Release of int
+  | Barrier
+
+type trace = (int * event) list
+(** (proc, event) in the global order the execution produced them. A proc
+    must not emit events between its barrier arrival and the arrival of the
+    last proc. *)
+
+type racy_word = {
+  addr : int;
+  procs : int * int;
+  kinds : Proto.Race.access_kind * Proto.Race.access_kind;
+}
+
+val races_of_trace : nprocs:int -> trace -> racy_word list
+(** All unordered cross-processor access pairs on the same word with at
+    least one write, deduplicated by (addr, procs, kinds). *)
+
+val racy_addrs : nprocs:int -> trace -> int list
+(** Sorted distinct racy addresses. *)

@@ -1,0 +1,41 @@
+(** Cost model for the simulated platform (times in nanoseconds).
+
+    Defaults approximate the paper's testbed: 250 MHz DEC Alphas on
+    155 Mbit/s ATM. Every constant can be overridden to run what-if
+    calibrations; the benchmark harness uses the defaults. *)
+
+type t = {
+  instr_ns : float;
+  proc_call_ns : float;
+  access_check_ns : float;
+  msg_latency_ns : int;
+  byte_ns : float;
+  fault_ns : int;
+  page_copy_word_ns : float;
+  diff_word_ns : float;
+  bitmap_word_ns : float;
+  vv_compare_ns : float;
+  notice_setup_ns : float;
+  interval_setup_ns : float;
+  lock_manager_ns : int;
+  jitter_ns : int;
+  max_message_bytes : int;
+  fragment_overhead_bytes : int;
+  page_size : int;
+  word_size : int;
+}
+
+val default : t
+
+val words_per_page : t -> int
+
+val fragments : t -> bytes:int -> int
+(** Number of wire fragments a payload needs under the MTU (paper section
+    5.3: "current message sizes are already at system maximums"). *)
+
+val wire_bytes : t -> bytes:int -> int
+(** Payload plus per-fragment header overhead. *)
+
+val message_ns : t -> bytes:int -> int
+(** Wire time of a message of [bytes] payload: one latency (fragments
+    pipeline) plus bandwidth over {!wire_bytes}. *)

@@ -1,0 +1,141 @@
+(* Discrete-event simulation engine.
+
+   Each simulated processor is a coroutine implemented with OCaml 5 effect
+   handlers. A process runs real OCaml code and interacts with virtual time
+   through two effects: [Advance n] consumes [n] simulated nanoseconds, and
+   [Block] suspends the process until another party calls [wake].
+
+   The scheduler is a single event loop over a deterministic priority queue,
+   so a given program and seed always produce the same interleaving. *)
+
+type pid = int
+
+type proc_state = Created | Running | Blocked | Finished
+
+type proc = {
+  pid : pid;
+  mutable state : proc_state;
+  mutable cont : (unit, unit) Effect.Deep.continuation option;
+  mutable wake_pending : bool;
+  mutable blocked_label : string;  (* what the process is waiting for *)
+}
+
+type action = Start of proc * (pid -> unit) | Resume of proc | Thunk of (unit -> unit)
+
+type t = {
+  mutable now : int;
+  queue : action Pqueue.t;
+  mutable procs : proc list;  (* reverse spawn order *)
+  mutable live : int;
+}
+
+exception Deadlock of string
+
+type _ Effect.t += Advance : int -> unit Effect.t | Block : string -> unit Effect.t
+
+let create () = { now = 0; queue = Pqueue.create (); procs = []; live = 0 }
+
+let now t = t.now
+
+let schedule t ~at f =
+  if at < t.now then invalid_arg "Engine.schedule: cannot schedule in the past";
+  Pqueue.push t.queue ~time:at (Thunk f)
+
+let schedule_after t ~delay f = schedule t ~at:(t.now + delay) f
+
+let spawn t body =
+  let pid = List.length t.procs in
+  let proc = { pid; state = Created; cont = None; wake_pending = false; blocked_label = "" } in
+  t.procs <- proc :: t.procs;
+  t.live <- t.live + 1;
+  Pqueue.push t.queue ~time:t.now (Start (proc, body));
+  pid
+
+let find_proc t pid =
+  match List.find_opt (fun p -> p.pid = pid) t.procs with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "Engine: unknown pid %d" pid)
+
+(* Effects performed by process bodies. *)
+
+let advance ns =
+  if ns < 0 then invalid_arg "Engine.advance: negative duration";
+  if ns > 0 then Effect.perform (Advance ns)
+
+let advance_f ns = advance (int_of_float ns)
+
+let block ~label = Effect.perform (Block label)
+
+let wake t pid =
+  let proc = find_proc t pid in
+  match proc.state with
+  | Blocked ->
+      proc.state <- Running;
+      Pqueue.push t.queue ~time:t.now (Resume proc)
+  | Created | Running -> proc.wake_pending <- true
+  | Finished -> ()
+
+(* The scheduler. *)
+
+let run_fiber t proc body =
+  let open Effect.Deep in
+  proc.state <- Running;
+  match_with body proc.pid
+    {
+      retc =
+        (fun () ->
+          proc.state <- Finished;
+          t.live <- t.live - 1);
+      exnc = (fun exn -> raise exn);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Advance ns ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  proc.cont <- Some k;
+                  Pqueue.push t.queue ~time:(t.now + ns) (Resume proc))
+          | Block label ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  if proc.wake_pending then begin
+                    proc.wake_pending <- false;
+                    continue k ()
+                  end
+                  else begin
+                    proc.state <- Blocked;
+                    proc.blocked_label <- label;
+                    proc.cont <- Some k
+                  end)
+          | _ -> None);
+    }
+
+let resume_fiber proc =
+  match proc.cont with
+  | Some k ->
+      proc.cont <- None;
+      proc.state <- Running;
+      Effect.Deep.continue k ()
+  | None -> invalid_arg "Engine: resume of a process with no continuation"
+
+let blocked_report t =
+  t.procs
+  |> List.filter (fun p -> p.state = Blocked)
+  |> List.map (fun p -> Printf.sprintf "p%d waiting on %s" p.pid p.blocked_label)
+  |> String.concat "; "
+
+let run t =
+  let rec loop () =
+    match Pqueue.pop t.queue with
+    | None ->
+        if t.live > 0 then
+          raise (Deadlock (Printf.sprintf "%d processes blocked: %s" t.live (blocked_report t)))
+    | Some (time, action) ->
+        t.now <- time;
+        (match action with
+        | Start (proc, body) -> run_fiber t proc body
+        | Resume proc -> resume_fiber proc
+        | Thunk f -> f ());
+        loop ()
+  in
+  loop ()

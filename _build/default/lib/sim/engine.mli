@@ -1,0 +1,47 @@
+(** Deterministic discrete-event simulation engine.
+
+    Simulated processors are coroutines built on OCaml 5 effect handlers.
+    A process interacts with virtual time by [advance]-ing its clock and
+    [block]-ing until woken. A single event loop drains a deterministic
+    priority queue, so a given program always produces the same
+    interleaving. *)
+
+type t
+
+type pid = int
+
+exception Deadlock of string
+(** Raised by [run] when the event queue drains while processes are still
+    blocked; the payload lists who is waiting on what. This is how lost
+    wakeups and lock cycles in simulated programs surface. *)
+
+val create : unit -> t
+
+val now : t -> int
+(** Current simulated time in nanoseconds. *)
+
+val spawn : t -> (pid -> unit) -> pid
+(** Register a process; its body starts running when [run] is called.
+    Pids are assigned densely from 0 in spawn order. *)
+
+val schedule : t -> at:int -> (unit -> unit) -> unit
+(** Run a thunk at an absolute simulated time (e.g. message delivery). *)
+
+val schedule_after : t -> delay:int -> (unit -> unit) -> unit
+
+val advance : int -> unit
+(** From within a process: consume simulated nanoseconds. *)
+
+val advance_f : float -> unit
+
+val block : label:string -> unit
+(** From within a process: suspend until [wake]. The label appears in
+    [Deadlock] reports. A wakeup that arrives before the block is not lost:
+    the next [block] returns immediately. *)
+
+val wake : t -> pid -> unit
+(** Make a blocked process runnable at the current simulated time. *)
+
+val run : t -> unit
+(** Drain the event queue. Raises [Deadlock] if processes remain blocked,
+    and re-raises any exception escaping a process body. *)

@@ -1,0 +1,84 @@
+(* Simulated network: reliable, ordered point-to-point messages with a
+   latency + bandwidth cost model, standing in for CVM's end-to-end UDP
+   protocols on 155 Mbit ATM.
+
+   Delivery invokes the destination node's handler directly, at delivery
+   time, the way CVM services requests from a SIGIO handler: protocol
+   requests are serviced even while the node's application code is blocked
+   or computing. Handlers route replies to the waiting application
+   coroutine themselves. *)
+
+type 'msg node = {
+  id : int;
+  inbox : 'msg Queue.t;
+  mutable handler : ('msg -> unit) option;
+  mutable waiter : Engine.pid option;
+}
+
+type 'msg t = {
+  engine : Engine.t;
+  cost : Cost.t;
+  stats : Stats.t;
+  nodes : 'msg node array;
+  size_of : 'msg -> int;
+  rng : Rng.t;  (* jitter source (failure injection) *)
+  last_delivery : int array;  (* per (src, dst) link: preserve FIFO under jitter *)
+}
+
+let create ?(rng = Rng.create ~seed:0) engine cost stats ~nodes ~size_of =
+  {
+    engine;
+    cost;
+    stats;
+    size_of;
+    rng;
+    last_delivery = Array.make (nodes * nodes) 0;
+    nodes = Array.init nodes (fun id -> { id; inbox = Queue.create (); handler = None; waiter = None });
+  }
+
+let node_count t = Array.length t.nodes
+
+let set_handler t ~node f = t.nodes.(node).handler <- Some f
+
+let deliver t node msg =
+  match node.handler with
+  | Some f -> f msg
+  | None -> (
+      Queue.add msg node.inbox;
+      match node.waiter with
+      | Some pid ->
+          node.waiter <- None;
+          Engine.wake t.engine pid
+      | None -> ())
+
+let send t ~src ~dst msg =
+  if dst < 0 || dst >= Array.length t.nodes then invalid_arg "Net.send: bad destination";
+  let bytes = t.size_of msg in
+  t.stats.Stats.messages <- t.stats.Stats.messages + 1;
+  t.stats.Stats.fragments <- t.stats.Stats.fragments + Cost.fragments t.cost ~bytes;
+  t.stats.Stats.bytes <- t.stats.Stats.bytes + Cost.wire_bytes t.cost ~bytes;
+  let delay = if src = dst then 2_000 else Cost.message_ns t.cost ~bytes in
+  let delay =
+    if t.cost.Cost.jitter_ns > 0 then delay + Rng.int t.rng (t.cost.Cost.jitter_ns + 1)
+    else delay
+  in
+  (* a later send on the same link never overtakes an earlier one *)
+  let link = (src * Array.length t.nodes) + dst in
+  let at = max (Engine.now t.engine + delay) (t.last_delivery.(link) + 1) in
+  t.last_delivery.(link) <- at;
+  let node = t.nodes.(dst) in
+  Engine.schedule t.engine ~at (fun () -> deliver t node msg)
+
+(* Blocking receive for nodes that drain their inbox from application code
+   (used by tests and simple examples; the DSM uses handlers instead). *)
+let recv t ~node:id =
+  let node = t.nodes.(id) in
+  let rec wait () =
+    match Queue.take_opt node.inbox with
+    | Some msg -> msg
+    | None ->
+        node.waiter <- Some id;
+        Engine.block ~label:(Printf.sprintf "net recv at node %d" id);
+        wait ()
+  in
+  wait ()

@@ -1,0 +1,30 @@
+(** Simulated network: reliable, ordered point-to-point messages with a
+    latency + bandwidth cost model (CVM's UDP protocols on 155 Mbit ATM).
+
+    Messages are delivered to a per-node handler at delivery time — the
+    analogue of CVM servicing requests from a SIGIO handler — so protocol
+    requests are serviced even while the node's application coroutine is
+    computing or blocked. *)
+
+type 'msg t
+
+val create :
+  ?rng:Rng.t -> Engine.t -> Cost.t -> Stats.t -> nodes:int -> size_of:('msg -> int) -> 'msg t
+(** [size_of] gives the payload size in bytes; it drives both the bandwidth
+    cost model and the byte counters in {!Stats}. [rng] feeds the optional
+    delivery jitter ({!Cost.t.jitter_ns}); per-link FIFO order is preserved
+    regardless. *)
+
+val node_count : 'msg t -> int
+
+val set_handler : 'msg t -> node:int -> ('msg -> unit) -> unit
+(** Install the delivery handler for a node. Without a handler, messages
+    queue for {!recv}. *)
+
+val send : 'msg t -> src:int -> dst:int -> 'msg -> unit
+(** Asynchronous send; delivery happens after latency + bandwidth delay.
+    A self-send is delivered after a small loopback delay. *)
+
+val recv : 'msg t -> node:int -> 'msg
+(** Blocking receive for handler-less nodes. Assumes the calling process's
+    pid equals the node id (the cluster spawns one process per node). *)

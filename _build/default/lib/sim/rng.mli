@@ -1,0 +1,22 @@
+(** Deterministic seedable random number generator (SplitMix64).
+
+    Independent from [Stdlib.Random] so simulations are reproducible no
+    matter what other code does with the global generator. *)
+
+type t
+
+val create : seed:int -> t
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Raises if [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val split : t -> t
+(** Derive an independent generator; used to give each simulated process its
+    own stream so scheduling changes do not perturb workloads. *)
+
+val shuffle_in_place : t -> 'a array -> unit

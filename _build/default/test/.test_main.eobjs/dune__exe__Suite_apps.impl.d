@@ -1,0 +1,1 @@
+test/suite_apps.ml: Alcotest Apps Array Core List Lrc Printf Proto Racedetect Sim Testutil

@@ -1,0 +1,1 @@
+test/suite_detection.ml: Alcotest Apps Core Gen Instrument List Lrc Printf Proto QCheck QCheck_alcotest Racedetect String Testutil

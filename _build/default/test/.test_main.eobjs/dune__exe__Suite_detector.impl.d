@@ -1,0 +1,1 @@
+test/suite_detector.ml: Alcotest List Mem Proto Racedetect Sim

@@ -1,0 +1,1 @@
+test/suite_extensions.ml: Alcotest Apps Array Core Float Format List Lrc Mem Printf Proto QCheck QCheck_alcotest Racedetect Sim Testutil

@@ -1,0 +1,1 @@
+test/suite_extra.ml: Alcotest Apps Buffer Bytes Core Format List Lrc Proto Sim Testutil

@@ -1,0 +1,1 @@
+test/suite_instrument.ml: Alcotest Apps Binary Instrument List Printf Proto Static_analysis

@@ -1,0 +1,1 @@
+test/suite_litmus.ml: Alcotest List Litmus Lrc

@@ -1,0 +1,1 @@
+test/suite_lrc.ml: Alcotest Array List Lrc Option Printf Racedetect Sim Testutil

@@ -1,0 +1,1 @@
+test/suite_mem.ml: Alcotest List Mem QCheck QCheck_alcotest

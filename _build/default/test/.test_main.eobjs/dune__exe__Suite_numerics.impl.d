@@ -1,0 +1,1 @@
+test/suite_numerics.ml: Alcotest Apps Array Float Fun Gen List QCheck QCheck_alcotest

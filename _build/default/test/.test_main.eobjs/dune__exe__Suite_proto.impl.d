@@ -1,0 +1,1 @@
+test/suite_proto.ml: Alcotest Array Gen Hashtbl List Proto QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/suite_sim.ml: Alcotest Array Fun List Option QCheck QCheck_alcotest Sim Testutil

@@ -1,0 +1,1 @@
+test/testutil.ml: Alcotest Format List Lrc Proto Sim String

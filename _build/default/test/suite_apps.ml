@@ -1,0 +1,120 @@
+(* Application-level tests at reduced scale: every app self-validates
+   (its body raises on a wrong answer), the detector agrees with the
+   oracle, and the races found are exactly the ones the paper reports:
+   TSP's benign bound races, Water's potential-energy bug, and nothing
+   at all for FFT and SOR. *)
+
+let check = Alcotest.check
+
+let run_app ?(cfg = Testutil.detect_cfg) ?(nprocs = 4) app =
+  Core.Driver.run ~cfg ~app ~nprocs ()
+
+let agrees (outcome : Core.Driver.outcome) =
+  let detected = Core.Driver.racy_addrs outcome in
+  let oracle =
+    Racedetect.Oracle.racy_addrs ~nprocs:outcome.Core.Driver.nprocs outcome.Core.Driver.trace
+  in
+  check Testutil.addr_list "detector agrees with oracle" oracle detected;
+  detected
+
+let test_sor_race_free () =
+  let outcome = run_app (Apps.Sor.make Apps.Sor.small_params) in
+  check Testutil.addr_list "sor is race-free" [] (agrees outcome);
+  check Alcotest.bool "sor really shares pages across procs" true
+    (outcome.Core.Driver.stats.Sim.Stats.pages_fetched > 0)
+
+let test_fft_race_free () =
+  let outcome = run_app (Apps.Fft.make Apps.Fft.small_params) in
+  check Testutil.addr_list "fft is race-free" [] (agrees outcome);
+  check Alcotest.bool "fft transposes across processors" true
+    (outcome.Core.Driver.stats.Sim.Stats.pages_fetched > 0)
+
+let test_fft_rejects_bad_dims () =
+  Alcotest.check_raises "non power of two"
+    (Invalid_argument "Fft.make: dimensions must be powers of two") (fun () ->
+      ignore (Apps.Fft.make { Apps.Fft.n1 = 6; n2 = 4; n3 = 4 }))
+
+let test_tsp_bound_races_only () =
+  let outcome = run_app (Apps.Tsp.make Apps.Tsp.small_params) in
+  match agrees outcome with
+  | [ _bound_addr ] ->
+      (* all races are on the one global-bound word, and they are
+         read-write (unsynchronized prune reads vs locked updates) *)
+      check Alcotest.bool "no write-write on the bound" true
+        (List.for_all
+           (fun r -> not (Proto.Race.is_write_write r))
+           outcome.Core.Driver.races)
+  | addrs ->
+      Alcotest.fail (Printf.sprintf "expected exactly the bound word, got %d addrs"
+           (List.length addrs))
+
+let test_tsp_parallel_matches_reference () =
+  (* correctness is asserted inside the body; both schedules must finish *)
+  List.iter
+    (fun nprocs -> ignore (run_app ~nprocs (Apps.Tsp.make Apps.Tsp.small_params)))
+    [ 2; 4 ]
+
+let test_water_bug_detected () =
+  let outcome = run_app (Apps.Water.make Apps.Water.small_params) in
+  match agrees outcome with
+  | [ _potential_addr ] ->
+      check Alcotest.bool "the bug includes a write-write race" true
+        (List.exists Proto.Race.is_write_write outcome.Core.Driver.races)
+  | addrs ->
+      Alcotest.fail
+        (Printf.sprintf "expected exactly the potential word, got %d addrs" (List.length addrs))
+
+let test_water_fixed_is_race_free () =
+  let params = { Apps.Water.small_params with inject_bug = false } in
+  let outcome = run_app (Apps.Water.make params) in
+  check Testutil.addr_list "fixed water is race-free" [] (agrees outcome)
+
+let test_water_multi_writer () =
+  let cfg = { Testutil.detect_cfg with protocol = Lrc.Config.Multi_writer } in
+  let outcome = run_app ~cfg (Apps.Water.make Apps.Water.small_params) in
+  check Alcotest.int "same single racy word under multi-writer" 1
+    (List.length (agrees outcome))
+
+let test_apps_across_proc_counts () =
+  (* every app must self-validate at 1, 2, 3 and 5 processors (including
+     non-divisors of the problem size) *)
+  List.iter
+    (fun name ->
+      List.iter
+        (fun nprocs ->
+          ignore (run_app ~nprocs (Apps.Registry.make ~scale:Apps.Registry.Small name)))
+        [ 1; 2; 3; 5 ])
+    Apps.Registry.all_names
+
+let test_registry () =
+  check Alcotest.int "four applications" 4 (List.length (Apps.Registry.all ()));
+  Alcotest.check_raises "unknown app" (Invalid_argument "Registry.make: unknown application \"nope\"")
+    (fun () -> ignore (Apps.Registry.make "nope"))
+
+let test_sequential_references () =
+  (* the references themselves: SOR boundary kept, water potential
+     strictly positive, TSP reference at most the NN bound *)
+  let grid = Apps.Sor.reference Apps.Sor.small_params in
+  check (Alcotest.float 0.0) "sor boundary pinned" 1.0 grid.(0).(0);
+  let water = Apps.Water.reference Apps.Water.small_params in
+  check Alcotest.bool "water potential positive" true (water.Apps.Water.potential > 0.0);
+  let best = Apps.Tsp.reference Apps.Tsp.small_params in
+  check Alcotest.bool "tsp tour positive" true (best > 0)
+
+let suite =
+  [
+    ( "apps",
+      [
+        Alcotest.test_case "sor race-free" `Quick test_sor_race_free;
+        Alcotest.test_case "fft race-free" `Quick test_fft_race_free;
+        Alcotest.test_case "fft bad dims" `Quick test_fft_rejects_bad_dims;
+        Alcotest.test_case "tsp bound races only" `Quick test_tsp_bound_races_only;
+        Alcotest.test_case "tsp matches reference" `Quick test_tsp_parallel_matches_reference;
+        Alcotest.test_case "water bug detected" `Quick test_water_bug_detected;
+        Alcotest.test_case "water fixed race-free" `Quick test_water_fixed_is_race_free;
+        Alcotest.test_case "water multi-writer" `Quick test_water_multi_writer;
+        Alcotest.test_case "all apps, odd proc counts" `Slow test_apps_across_proc_counts;
+        Alcotest.test_case "registry" `Quick test_registry;
+        Alcotest.test_case "sequential references" `Quick test_sequential_references;
+      ] );
+  ]

@@ -1,0 +1,193 @@
+(* Unit and property tests for the memory substrate: geometry, bitmaps,
+   pages and diffs. *)
+
+let check = Alcotest.check
+
+let geometry = Mem.Geometry.create ~page_size:4096 ~word_size:8 ~pages:4 ()
+
+(* ------------------------------------------------------------------ *)
+(* Geometry                                                            *)
+
+let test_geometry_bounds () =
+  check Alcotest.bool "base shared" true (Mem.Geometry.in_shared geometry geometry.base);
+  check Alcotest.bool "below base private" false
+    (Mem.Geometry.in_shared geometry (geometry.base - 8));
+  check Alcotest.bool "limit private" false
+    (Mem.Geometry.in_shared geometry (Mem.Geometry.limit geometry));
+  check Alcotest.int "shared bytes" (4 * 4096) (Mem.Geometry.shared_bytes geometry)
+
+let test_geometry_roundtrip () =
+  for page = 0 to 3 do
+    for word = 0 to 511 do
+      let addr = Mem.Geometry.addr_of geometry ~page ~word in
+      check Alcotest.int "page roundtrip" page (Mem.Geometry.page_of_addr geometry addr);
+      check Alcotest.int "word roundtrip" word (Mem.Geometry.word_in_page geometry addr)
+    done
+  done
+
+let test_geometry_errors () =
+  Alcotest.check_raises "private address" (Invalid_argument
+      "Geometry.page_of_addr: address not shared") (fun () ->
+      ignore (Mem.Geometry.page_of_addr geometry 0));
+  Alcotest.check_raises "bad page" (Invalid_argument "Geometry.addr_of: bad page") (fun () ->
+      ignore (Mem.Geometry.addr_of geometry ~page:4 ~word:0))
+
+(* ------------------------------------------------------------------ *)
+(* Bitmap                                                              *)
+
+let test_bitmap_set_get () =
+  let bitmap = Mem.Bitmap.create 100 in
+  check Alcotest.bool "fresh empty" true (Mem.Bitmap.is_empty bitmap);
+  Mem.Bitmap.set bitmap 0;
+  Mem.Bitmap.set bitmap 63;
+  Mem.Bitmap.set bitmap 99;
+  check Alcotest.bool "bit 0" true (Mem.Bitmap.get bitmap 0);
+  check Alcotest.bool "bit 1" false (Mem.Bitmap.get bitmap 1);
+  check Alcotest.bool "bit 99" true (Mem.Bitmap.get bitmap 99);
+  check Alcotest.int "cardinal" 3 (Mem.Bitmap.cardinal bitmap);
+  check (Alcotest.list Alcotest.int) "indices" [ 0; 63; 99 ] (Mem.Bitmap.set_indices bitmap);
+  Mem.Bitmap.clear_all bitmap;
+  check Alcotest.bool "cleared" true (Mem.Bitmap.is_empty bitmap)
+
+let test_bitmap_intersection () =
+  let a = Mem.Bitmap.create 64 and b = Mem.Bitmap.create 64 in
+  Mem.Bitmap.set a 3;
+  Mem.Bitmap.set a 10;
+  Mem.Bitmap.set b 10;
+  Mem.Bitmap.set b 20;
+  check Alcotest.bool "intersects" true (Mem.Bitmap.intersects a b);
+  check (Alcotest.list Alcotest.int) "common word" [ 10 ] (Mem.Bitmap.inter_indices a b);
+  let c = Mem.Bitmap.create 64 in
+  Mem.Bitmap.set c 3;
+  check Alcotest.bool "false sharing: disjoint" false (Mem.Bitmap.intersects b c)
+
+let test_bitmap_union_copy () =
+  let a = Mem.Bitmap.create 32 and b = Mem.Bitmap.create 32 in
+  Mem.Bitmap.set a 1;
+  Mem.Bitmap.set b 2;
+  let snapshot = Mem.Bitmap.copy a in
+  Mem.Bitmap.union_into ~dst:a b;
+  check (Alcotest.list Alcotest.int) "union" [ 1; 2 ] (Mem.Bitmap.set_indices a);
+  check (Alcotest.list Alcotest.int) "copy unaffected" [ 1 ] (Mem.Bitmap.set_indices snapshot)
+
+let test_bitmap_length_mismatch () =
+  let a = Mem.Bitmap.create 8 and b = Mem.Bitmap.create 16 in
+  Alcotest.check_raises "mismatch" (Invalid_argument "Bitmap: length mismatch") (fun () ->
+      ignore (Mem.Bitmap.intersects a b))
+
+let prop_bitmap_inter_naive =
+  QCheck.Test.make ~name:"bitmap inter_indices equals naive intersection" ~count:100
+    QCheck.(pair (list (int_bound 127)) (list (int_bound 127)))
+    (fun (xs, ys) ->
+      let a = Mem.Bitmap.create 128 and b = Mem.Bitmap.create 128 in
+      List.iter (Mem.Bitmap.set a) xs;
+      List.iter (Mem.Bitmap.set b) ys;
+      let naive =
+        List.sort_uniq compare (List.filter (fun x -> List.mem x ys) xs)
+      in
+      Mem.Bitmap.inter_indices a b = naive
+      && Mem.Bitmap.intersects a b = (naive <> []))
+
+let prop_bitmap_cardinal =
+  QCheck.Test.make ~name:"bitmap cardinal equals distinct count" ~count:100
+    QCheck.(list (int_bound 255))
+    (fun xs ->
+      let bitmap = Mem.Bitmap.create 256 in
+      List.iter (Mem.Bitmap.set bitmap) xs;
+      Mem.Bitmap.cardinal bitmap = List.length (List.sort_uniq compare xs))
+
+(* ------------------------------------------------------------------ *)
+(* Page                                                                *)
+
+let test_page_roundtrip () =
+  let page = Mem.Page.create ~page_size:4096 ~word_size:8 in
+  Mem.Page.set_int64 page 0 42L;
+  Mem.Page.set_float page 1 3.25;
+  Mem.Page.set_int64 page 511 (-1L);
+  check Alcotest.int64 "int64" 42L (Mem.Page.get_int64 page 0);
+  check (Alcotest.float 0.0) "float" 3.25 (Mem.Page.get_float page 1);
+  check Alcotest.int64 "last word" (-1L) (Mem.Page.get_int64 page 511);
+  Alcotest.check_raises "out of range" (Invalid_argument "Page: word out of range") (fun () ->
+      ignore (Mem.Page.get_int64 page 512))
+
+let test_page_copy_blit () =
+  let page = Mem.Page.create ~page_size:4096 ~word_size:8 in
+  Mem.Page.set_int64 page 7 99L;
+  let twin = Mem.Page.copy page in
+  Mem.Page.set_int64 page 7 100L;
+  check Alcotest.int64 "twin keeps old value" 99L (Mem.Page.get_int64 twin 7);
+  Mem.Page.blit_from ~src:twin page;
+  check Alcotest.int64 "blit restores" 99L (Mem.Page.get_int64 page 7);
+  check Alcotest.bool "equal" true (Mem.Page.equal page twin)
+
+(* ------------------------------------------------------------------ *)
+(* Diff                                                                *)
+
+let test_diff_roundtrip () =
+  let twin = Mem.Page.create ~page_size:4096 ~word_size:8 in
+  let current = Mem.Page.copy twin in
+  Mem.Page.set_int64 current 5 1L;
+  Mem.Page.set_int64 current 100 2L;
+  let diff = Mem.Diff.create ~page:3 ~twin ~current in
+  check Alcotest.int "changed words" 2 (Mem.Diff.word_count diff);
+  check Alcotest.int "page id" 3 (Mem.Diff.page diff);
+  check (Alcotest.list Alcotest.int) "touched" [ 5; 100 ] (Mem.Diff.touched_words diff);
+  let target = Mem.Page.copy twin in
+  Mem.Diff.apply diff target;
+  check Alcotest.bool "apply reconstructs" true (Mem.Page.equal target current)
+
+let test_diff_empty () =
+  let page = Mem.Page.create ~page_size:4096 ~word_size:8 in
+  let diff = Mem.Diff.create ~page:0 ~twin:page ~current:(Mem.Page.copy page) in
+  check Alcotest.bool "empty" true (Mem.Diff.is_empty diff)
+
+let test_diff_to_bitmap () =
+  let twin = Mem.Page.create ~page_size:4096 ~word_size:8 in
+  let current = Mem.Page.copy twin in
+  Mem.Page.set_int64 current 9 5L;
+  let diff = Mem.Diff.create ~page:0 ~twin ~current in
+  let bitmap = Mem.Diff.to_bitmap diff ~nbits:512 in
+  check (Alcotest.list Alcotest.int) "bit set" [ 9 ] (Mem.Bitmap.set_indices bitmap)
+
+let prop_diff_apply_reconstructs =
+  QCheck.Test.make ~name:"diff(twin,current) applied to twin copy = current" ~count:100
+    QCheck.(list (pair (int_bound 511) int64))
+    (fun writes ->
+      let twin = Mem.Page.create ~page_size:4096 ~word_size:8 in
+      let current = Mem.Page.copy twin in
+      List.iter (fun (word, value) -> Mem.Page.set_int64 current word value) writes;
+      let diff = Mem.Diff.create ~page:0 ~twin ~current in
+      let target = Mem.Page.copy twin in
+      Mem.Diff.apply diff target;
+      Mem.Page.equal target current)
+
+let suite =
+  [
+    ( "mem:geometry",
+      [
+        Alcotest.test_case "bounds" `Quick test_geometry_bounds;
+        Alcotest.test_case "roundtrip" `Quick test_geometry_roundtrip;
+        Alcotest.test_case "errors" `Quick test_geometry_errors;
+      ] );
+    ( "mem:bitmap",
+      [
+        Alcotest.test_case "set/get/cardinal" `Quick test_bitmap_set_get;
+        Alcotest.test_case "intersection" `Quick test_bitmap_intersection;
+        Alcotest.test_case "union/copy" `Quick test_bitmap_union_copy;
+        Alcotest.test_case "length mismatch" `Quick test_bitmap_length_mismatch;
+        QCheck_alcotest.to_alcotest prop_bitmap_inter_naive;
+        QCheck_alcotest.to_alcotest prop_bitmap_cardinal;
+      ] );
+    ( "mem:page",
+      [
+        Alcotest.test_case "word roundtrip" `Quick test_page_roundtrip;
+        Alcotest.test_case "copy/blit" `Quick test_page_copy_blit;
+      ] );
+    ( "mem:diff",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_diff_roundtrip;
+        Alcotest.test_case "empty" `Quick test_diff_empty;
+        Alcotest.test_case "to_bitmap" `Quick test_diff_to_bitmap;
+        QCheck_alcotest.to_alcotest prop_diff_apply_reconstructs;
+      ] );
+  ]

@@ -1,0 +1,249 @@
+(* Unit and property tests for the simulation substrate: priority queue,
+   RNG, engine, and network. *)
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Pqueue                                                              *)
+
+let test_pqueue_ordering () =
+  let q = Sim.Pqueue.create () in
+  Sim.Pqueue.push q ~time:30 "c";
+  Sim.Pqueue.push q ~time:10 "a";
+  Sim.Pqueue.push q ~time:20 "b";
+  check (Alcotest.option (Alcotest.pair Alcotest.int Alcotest.string)) "first" (Some (10, "a"))
+    (Sim.Pqueue.pop q);
+  check (Alcotest.option (Alcotest.pair Alcotest.int Alcotest.string)) "second" (Some (20, "b"))
+    (Sim.Pqueue.pop q);
+  check (Alcotest.option (Alcotest.pair Alcotest.int Alcotest.string)) "third" (Some (30, "c"))
+    (Sim.Pqueue.pop q);
+  check Alcotest.bool "empty" true (Sim.Pqueue.pop q = None)
+
+let test_pqueue_tie_break () =
+  (* same time: pops in insertion order, the determinism guarantee *)
+  let q = Sim.Pqueue.create () in
+  List.iter (fun v -> Sim.Pqueue.push q ~time:5 v) [ 1; 2; 3; 4; 5 ];
+  let popped = List.init 5 (fun _ -> snd (Option.get (Sim.Pqueue.pop q))) in
+  check (Alcotest.list Alcotest.int) "fifo at equal time" [ 1; 2; 3; 4; 5 ] popped
+
+let test_pqueue_peek () =
+  let q = Sim.Pqueue.create () in
+  check (Alcotest.option Alcotest.int) "peek empty" None (Sim.Pqueue.peek_time q);
+  Sim.Pqueue.push q ~time:42 ();
+  check (Alcotest.option Alcotest.int) "peek" (Some 42) (Sim.Pqueue.peek_time q);
+  check Alcotest.int "length" 1 (Sim.Pqueue.length q)
+
+let prop_pqueue_sorted =
+  QCheck.Test.make ~name:"pqueue pops sorted by (time, insertion)" ~count:200
+    QCheck.(list (int_bound 1000))
+    (fun times ->
+      let q = Sim.Pqueue.create () in
+      List.iteri (fun i time -> Sim.Pqueue.push q ~time i) times;
+      let rec drain acc =
+        match Sim.Pqueue.pop q with
+        | None -> List.rev acc
+        | Some (time, seq) -> drain ((time, seq) :: acc)
+      in
+      let popped = drain [] in
+      let sorted = List.stable_sort (fun (t1, s1) (t2, s2) ->
+          match compare t1 t2 with 0 -> compare s1 s2 | c -> c)
+          (List.mapi (fun i time -> (time, i)) times)
+      in
+      popped = sorted)
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+
+let test_rng_deterministic () =
+  let a = Sim.Rng.create ~seed:99 and b = Sim.Rng.create ~seed:99 in
+  let xs = List.init 50 (fun _ -> Sim.Rng.int a 1000) in
+  let ys = List.init 50 (fun _ -> Sim.Rng.int b 1000) in
+  check (Alcotest.list Alcotest.int) "same seed, same stream" xs ys
+
+let test_rng_bounds () =
+  let rng = Sim.Rng.create ~seed:1 in
+  for _ = 1 to 1000 do
+    let v = Sim.Rng.int rng 7 in
+    if v < 0 || v >= 7 then Alcotest.fail "Rng.int out of bounds"
+  done;
+  for _ = 1 to 1000 do
+    let f = Sim.Rng.float rng 2.5 in
+    if f < 0.0 || f >= 2.5 then Alcotest.fail "Rng.float out of bounds"
+  done
+
+let test_rng_split_independent () =
+  let root = Sim.Rng.create ~seed:5 in
+  let a = Sim.Rng.split root and b = Sim.Rng.split root in
+  let xs = List.init 20 (fun _ -> Sim.Rng.int a 1_000_000) in
+  let ys = List.init 20 (fun _ -> Sim.Rng.int b 1_000_000) in
+  check Alcotest.bool "distinct streams" true (xs <> ys)
+
+let test_rng_shuffle_permutes () =
+  let rng = Sim.Rng.create ~seed:3 in
+  let arr = Array.init 30 Fun.id in
+  Sim.Rng.shuffle_in_place rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  check (Alcotest.array Alcotest.int) "permutation" (Array.init 30 Fun.id) sorted
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                              *)
+
+let test_engine_advance_interleaves () =
+  let engine = Sim.Engine.create () in
+  let log = ref [] in
+  let mark pid = log := (pid, Sim.Engine.now engine) :: !log in
+  let body_a _pid =
+    Sim.Engine.advance 10;
+    mark 0;
+    Sim.Engine.advance 20;
+    mark 0
+  in
+  let body_b _pid =
+    Sim.Engine.advance 15;
+    mark 1;
+    Sim.Engine.advance 1;
+    mark 1
+  in
+  ignore (Sim.Engine.spawn engine body_a);
+  ignore (Sim.Engine.spawn engine body_b);
+  Sim.Engine.run engine;
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "interleaving by virtual time"
+    [ (0, 10); (1, 15); (1, 16); (0, 30) ]
+    (List.rev !log)
+
+let test_engine_block_wake () =
+  let engine = Sim.Engine.create () in
+  let woke_at = ref (-1) in
+  let sleeper_pid = ref (-1) in
+  let sleeper _pid =
+    Sim.Engine.block ~label:"test sleep";
+    woke_at := Sim.Engine.now engine
+  in
+  let waker _pid =
+    Sim.Engine.advance 500;
+    Sim.Engine.wake engine !sleeper_pid
+  in
+  sleeper_pid := Sim.Engine.spawn engine sleeper;
+  ignore (Sim.Engine.spawn engine waker);
+  Sim.Engine.run engine;
+  check Alcotest.int "woken at waker's time" 500 !woke_at
+
+let test_engine_wake_before_block () =
+  (* a wakeup that arrives before the block must not be lost *)
+  let engine = Sim.Engine.create () in
+  let finished = ref false in
+  let pid = ref (-1) in
+  let sleeper _pid =
+    Sim.Engine.advance 100;
+    Sim.Engine.block ~label:"late block";
+    finished := true
+  in
+  let waker _pid = Sim.Engine.wake engine !pid in
+  pid := Sim.Engine.spawn engine sleeper;
+  ignore (Sim.Engine.spawn engine waker);
+  Sim.Engine.run engine;
+  check Alcotest.bool "sticky wakeup" true !finished
+
+let test_engine_deadlock_detected () =
+  let engine = Sim.Engine.create () in
+  ignore (Sim.Engine.spawn engine (fun _ -> Sim.Engine.block ~label:"forever"));
+  match Sim.Engine.run engine with
+  | () -> Alcotest.fail "expected Deadlock"
+  | exception Sim.Engine.Deadlock message ->
+      check Alcotest.bool "mentions label" true
+        (Testutil.contains message "forever")
+
+let test_engine_exception_propagates () =
+  let engine = Sim.Engine.create () in
+  ignore (Sim.Engine.spawn engine (fun _ -> failwith "boom"));
+  match Sim.Engine.run engine with
+  | () -> Alcotest.fail "expected exception"
+  | exception Failure m -> check Alcotest.string "payload" "boom" m
+
+let test_engine_schedule_thunk () =
+  let engine = Sim.Engine.create () in
+  let fired = ref (-1) in
+  Sim.Engine.schedule engine ~at:77 (fun () -> fired := Sim.Engine.now engine);
+  Sim.Engine.run engine;
+  check Alcotest.int "thunk time" 77 !fired
+
+(* ------------------------------------------------------------------ *)
+(* Net                                                                 *)
+
+let test_net_latency_and_accounting () =
+  let engine = Sim.Engine.create () in
+  let cost = Sim.Cost.default in
+  let stats = Sim.Stats.create () in
+  let net = Sim.Net.create engine cost stats ~nodes:2 ~size_of:(fun _ -> 100) in
+  let delivered_at = ref (-1) in
+  Sim.Net.set_handler net ~node:1 (fun () -> delivered_at := Sim.Engine.now engine);
+  ignore
+    (Sim.Engine.spawn engine (fun _ ->
+         Sim.Engine.advance 1000;
+         Sim.Net.send net ~src:0 ~dst:1 ()));
+  Sim.Engine.run engine;
+  check Alcotest.int "latency model" (1000 + Sim.Cost.message_ns cost ~bytes:100) !delivered_at;
+  check Alcotest.int "message counted" 1 stats.Sim.Stats.messages;
+  check Alcotest.int "bytes counted" 100 stats.Sim.Stats.bytes
+
+let test_net_fifo_same_size () =
+  let engine = Sim.Engine.create () in
+  let stats = Sim.Stats.create () in
+  let net = Sim.Net.create engine Sim.Cost.default stats ~nodes:2 ~size_of:(fun _ -> 64) in
+  let received = ref [] in
+  Sim.Net.set_handler net ~node:1 (fun v -> received := v :: !received);
+  ignore
+    (Sim.Engine.spawn engine (fun _ ->
+         List.iter (fun v -> Sim.Net.send net ~src:0 ~dst:1 v) [ 1; 2; 3 ]));
+  Sim.Engine.run engine;
+  check (Alcotest.list Alcotest.int) "fifo" [ 1; 2; 3 ] (List.rev !received)
+
+let test_net_recv_blocking () =
+  let engine = Sim.Engine.create () in
+  let stats = Sim.Stats.create () in
+  let net = Sim.Net.create engine Sim.Cost.default stats ~nodes:2 ~size_of:(fun _ -> 8) in
+  let got = ref 0 in
+  (* pid 0 = node 0 receiver; recv assumes pid = node id *)
+  ignore (Sim.Engine.spawn engine (fun _ -> got := Sim.Net.recv net ~node:0));
+  ignore
+    (Sim.Engine.spawn engine (fun _ ->
+         Sim.Engine.advance 10;
+         Sim.Net.send net ~src:1 ~dst:0 42));
+  Sim.Engine.run engine;
+  check Alcotest.int "received" 42 !got
+
+let suite =
+  [
+    ( "sim:pqueue",
+      [
+        Alcotest.test_case "ordering" `Quick test_pqueue_ordering;
+        Alcotest.test_case "tie-break fifo" `Quick test_pqueue_tie_break;
+        Alcotest.test_case "peek/length" `Quick test_pqueue_peek;
+        QCheck_alcotest.to_alcotest prop_pqueue_sorted;
+      ] );
+    ( "sim:rng",
+      [
+        Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+        Alcotest.test_case "bounds" `Quick test_rng_bounds;
+        Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+        Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutes;
+      ] );
+    ( "sim:engine",
+      [
+        Alcotest.test_case "virtual-time interleaving" `Quick test_engine_advance_interleaves;
+        Alcotest.test_case "block/wake" `Quick test_engine_block_wake;
+        Alcotest.test_case "wake before block" `Quick test_engine_wake_before_block;
+        Alcotest.test_case "deadlock detected" `Quick test_engine_deadlock_detected;
+        Alcotest.test_case "exception propagates" `Quick test_engine_exception_propagates;
+        Alcotest.test_case "scheduled thunk" `Quick test_engine_schedule_thunk;
+      ] );
+    ( "sim:net",
+      [
+        Alcotest.test_case "latency + accounting" `Quick test_net_latency_and_accounting;
+        Alcotest.test_case "fifo same-size" `Quick test_net_fifo_same_size;
+        Alcotest.test_case "blocking recv" `Quick test_net_recv_blocking;
+      ] );
+  ]

@@ -1,0 +1,24 @@
+(* Shared helpers for the test suites. *)
+
+let contains haystack needle =
+  let hay_len = String.length haystack and needle_len = String.length needle in
+  let rec scan i =
+    i + needle_len <= hay_len && (String.sub haystack i needle_len = needle || scan (i + 1))
+  in
+  needle_len = 0 || scan 0
+
+(* Run an SPMD body on a fresh cluster and return it for inspection. *)
+let run_cluster ?(cfg = Lrc.Config.default) ?(cost = Sim.Cost.default) ?(nprocs = 4)
+    ?(pages = 8) body =
+  let cluster = Lrc.Cluster.create ~cost ~cfg ~nprocs ~pages () in
+  Lrc.Cluster.run cluster ~body;
+  cluster
+
+let racy_addrs_of cluster =
+  Lrc.Cluster.races cluster
+  |> List.map (fun (r : Proto.Race.t) -> r.addr)
+  |> List.sort_uniq compare
+
+let detect_cfg = { Lrc.Config.default with Lrc.Config.detect = true; record_trace = true }
+
+let addr_list = Alcotest.list (Alcotest.testable (fun ppf a -> Format.fprintf ppf "0x%x" a) ( = ))

@@ -1,0 +1,24 @@
+# Convenience targets; the source of truth is dune.
+
+.PHONY: all build test check bench clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# The tier-1 gate: build, tests, and the static-analysis report
+# (classification, batching, lint) over every application.
+check:
+	dune build
+	dune runtest
+	dune exec bin/cvm_race.exe -- analyze --all
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

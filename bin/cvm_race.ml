@@ -8,6 +8,9 @@
              source sites that touched it
      table   regenerate one of the paper's tables/figures (see bench/ for
              the full harness)
+     analyze run only the static elimination pass: classification,
+             redundant-check batching and lockset lint per application
+     litmus  explore memory-model litmus tests under a protocol
 *)
 
 open Cmdliner
@@ -163,6 +166,42 @@ let table_command =
   let term = Term.(const table $ which_arg $ scale_arg) in
   Cmd.v (Cmd.info "table" ~doc:"Regenerate one of the paper's tables or figures.") term
 
+let analyze_command =
+  let app_opt_arg =
+    let doc = "Application to analyze: fft, sor, tsp, water or lu." in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"APP" ~doc)
+  in
+  let all_arg =
+    let doc = "Analyze every application, including the extra workloads." in
+    Arg.(value & flag & info [ "all" ] ~doc)
+  in
+  let analyze app_name all scale =
+    let names =
+      match (app_name, all) with
+      | _, true -> Apps.Registry.extended_names
+      | Some name, false -> [ name ]
+      | None, false -> Apps.Registry.all_names
+    in
+    let any_warnings = ref false in
+    List.iter
+      (fun name ->
+        let app = Apps.Registry.make ~scale name in
+        let result = Instrument.Static_analysis.analyze (app.Apps.App.binary ()) in
+        Core.Report.analysis ppf ~name:app.Apps.App.name result;
+        if result.Instrument.Static_analysis.warnings <> [] then any_warnings := true)
+      names;
+    if !any_warnings then
+      Format.fprintf ppf
+        "note: lint findings are static suspicions; `cvm_race run` confirms them dynamically@."
+  in
+  let term = Term.(const analyze $ app_opt_arg $ all_arg $ scale_arg) in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Run the static elimination pass (section 5.1) alone: per-application access \
+          classification, redundant-check batching, and lockset lint warnings.")
+    term
+
 let litmus_command =
   let litmus protocol =
     List.iter
@@ -191,4 +230,7 @@ let litmus_command =
 let () =
   let doc = "online data-race detection via coherency guarantees (OSDI '96 reproduction)" in
   let info = Cmd.info "cvm_race" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ run_command; hunt_command; table_command; litmus_command ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ run_command; hunt_command; table_command; analyze_command; litmus_command ]))

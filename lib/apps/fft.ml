@@ -31,10 +31,73 @@ let total { n1; n2; n3 } = n1 * n2 * n3
 let memory_bytes params = 2 * 2 * total params * 8 (* data + transpose buffer *)
 
 let binary () =
-  (* section counts of the paper's FFT binary (Table 2); the big library
-     section is libm *)
-  App.synthetic_binary ~name:"fft" ~stack:1285 ~static_data:1496 ~library_name:"libm"
-    ~library:124716 ~cvm:3910 ~instrumented:261 ()
+  (* Synthetic image with the paper's FFT section counts (Table 2). The
+     CFG mirrors the ping-pong structure of the body: each phase reads
+     one shared grid and writes the other (never both), with the
+     butterflies running in a private workspace — those computed
+     accesses are what the data-flow pass proves private. Re/im words
+     interleave, so every im access batches onto its re check. *)
+  let open Instrument.Ir in
+  let data = 0 and trans = 1 and work = 2 and twiddle = 3 in
+  let page = 4096 in
+  let entry =
+    block "entry"
+      (App.fp_gp_ops ~name:"fft" ~stack:1285 ~static_data:1496
+      @ [
+          malloc_shared ~dst:data "fft.data";
+          malloc_shared ~dst:trans "fft.trans";
+          malloc_private ~dst:work "fft.work";
+          lea ~dst:twiddle (Reg work) ~offset:512;
+        ])
+      ~succs:[ "init" ]
+  in
+  let init =
+    block "init"
+      [
+        store (Reg data) ~offset:0 ~stride:page ~count:12 ~site:"fft:init_re";
+        store (Reg data) ~offset:8 ~stride:page ~count:12 ~site:"fft:init_im";
+        barrier;
+      ]
+      ~succs:[ "phase1" ]
+  in
+  let phase1 =
+    block "phase1"
+      [
+        load (Reg data) ~offset:0 ~stride:page ~count:32 ~site:"fft:load_plane_re";
+        load (Reg data) ~offset:8 ~stride:page ~count:32 ~site:"fft:load_plane_im";
+        store (Reg work) ~count:20 ~site:"fft:butterfly";
+        load (Reg work) ~count:20 ~site:"fft:butterfly";
+        load (Reg twiddle) ~count:10 ~site:"fft:twiddle";
+        store (Reg trans) ~offset:0 ~stride:page ~count:23 ~site:"fft:store_trans_re";
+        store (Reg trans) ~offset:8 ~stride:page ~count:22 ~site:"fft:store_trans_im";
+        barrier;
+      ]
+      ~succs:[ "phase2" ]
+  in
+  let phase2 =
+    block "phase2"
+      [
+        load (Reg trans) ~offset:0 ~stride:page ~count:32 ~site:"fft:load_trans_re";
+        load (Reg trans) ~offset:8 ~stride:page ~count:32 ~site:"fft:load_trans_im";
+        store (Reg work) ~count:10 ~site:"fft:butterfly2";
+        load (Reg work) ~count:10 ~site:"fft:butterfly2";
+        store (Reg data) ~offset:0 ~stride:page ~count:25 ~site:"fft:store_back_re";
+        store (Reg data) ~offset:8 ~stride:page ~count:25 ~site:"fft:store_back_im";
+        barrier;
+      ]
+      ~succs:[ "phase1"; "check" ]
+  in
+  let check =
+    block "check"
+      [
+        load (Reg data) ~offset:0 ~stride:page ~count:7 ~site:"fft:check_re";
+        load (Reg data) ~offset:8 ~stride:page ~count:7 ~site:"fft:check_im";
+        barrier;
+      ]
+  in
+  Instrument.Binary.make ~name:"fft"
+    ~procs:[ proc ~name:"fft_main" ~entry:"entry" [ entry; init; phase1; phase2; check ] ]
+    (App.runtime_sections ~name:"fft" ~library_name:"libm" ~library:124716 ~cvm:3910)
 
 (* Deterministic pseudo-random input: a pure function of the flat index,
    so any processor can validate any element without communication. *)

@@ -37,9 +37,48 @@ let reference { n } =
 let memory_bytes { n } = n * n * 8
 
 let binary () =
-  (* no Table 2 row exists for LU; reuse SOR-like section magnitudes *)
-  App.synthetic_binary ~name:"lu" ~stack:410 ~static_data:1380 ~library_name:"libm"
-    ~library:52000 ~cvm:3910 ~instrumented:190 ()
+  (* No Table 2 row exists for LU; SOR-like section magnitudes. The CFG
+     mirrors the body: multiplier computation in the pivot column, a
+     barrier, then the rank-1 update of the trailing columns with a
+     private workspace for the multiplier row. *)
+  let open Instrument.Ir in
+  let matrix = 0 and work = 1 in
+  let page = 4096 in
+  let entry =
+    block "entry"
+      (App.fp_gp_ops ~name:"lu" ~stack:410 ~static_data:1380
+      @ [ malloc_shared ~dst:matrix "lu.matrix"; malloc_private ~dst:work "lu.work" ])
+      ~succs:[ "init" ]
+  in
+  let init =
+    block "init"
+      [ store (Reg matrix) ~stride:page ~count:30 ~site:"lu:init"; barrier ]
+      ~succs:[ "factor" ]
+  in
+  let factor =
+    block "factor"
+      [
+        load (Reg matrix) ~stride:8 ~count:40 ~site:"lu:pivot";
+        store (Reg matrix) ~stride:8 ~count:20 ~site:"lu:mult";
+        barrier;
+      ]
+      ~succs:[ "update" ]
+  in
+  let update =
+    block "update"
+      [
+        load (Reg matrix) ~stride:page ~count:30 ~site:"lu:col";
+        store (Reg matrix) ~stride:page ~count:50 ~site:"lu:update";
+        load (Reg work) ~count:20 ~site:"lu:work";
+        store (Reg work) ~count:20 ~site:"lu:work";
+        barrier;
+      ]
+      ~succs:[ "factor"; "check" ]
+  in
+  let check = block "check" [ load (Reg matrix) ~stride:page ~count:20 ~site:"lu:check" ] in
+  Instrument.Binary.make ~name:"lu"
+    ~procs:[ proc ~name:"lu_main" ~entry:"entry" [ entry; init; factor; update; check ] ]
+    (App.runtime_sections ~name:"lu" ~library_name:"libm" ~library:52000 ~cvm:3910)
 
 let body ({ n } as params) node =
   let open Lrc.Dsm in

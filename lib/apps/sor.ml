@@ -47,9 +47,58 @@ let reference { rows; cols; iters } =
 let memory_bytes { rows; cols; _ } = 2 * rows * cols * 8
 
 let binary () =
-  (* section counts of the paper's SOR binary (Table 2) *)
-  App.synthetic_binary ~name:"sor" ~stack:342 ~static_data:1304 ~library_name:"libc"
-    ~library:48717 ~cvm:3910 ~instrumented:126 ()
+  (* Synthetic image with the paper's SOR section counts (Table 2). The
+     application text is a CFG mirroring the body below: two dsm_malloc
+     grids, a private scratch row, an init phase, the sweep loop (reads
+     of the four neighbours from the current grid, write to the next)
+     and the final self-check — the data-flow pass derives which
+     accesses survive instrumentation. Neighbour rows are a page apart
+     (512-double rows); west/east share the row page, so their checks
+     batch onto the row's first check. *)
+  let open Instrument.Ir in
+  let grid0 = 0 and grid1 = 1 and scratch = 2 and row = 3 in
+  let page = 4096 in
+  let entry =
+    block "entry"
+      (App.fp_gp_ops ~name:"sor" ~stack:342 ~static_data:1304
+      @ [
+          malloc_shared ~dst:grid0 "sor.grid0";
+          malloc_shared ~dst:grid1 "sor.grid1";
+          malloc_private ~dst:scratch "sor.scratch";
+        ])
+      ~succs:[ "init" ]
+  in
+  let init =
+    block "init"
+      [
+        store (Reg grid0) ~stride:page ~count:10 ~site:"sor:init";
+        store (Reg grid1) ~stride:page ~count:10 ~site:"sor:init";
+        store (Reg scratch) ~count:4 ~site:"sor:init_scratch";
+        barrier;
+      ]
+      ~succs:[ "sweep" ]
+  in
+  let sweep =
+    block "sweep"
+      [
+        lea ~dst:row (Reg grid0) ~offset:page;
+        load (Reg grid0) ~offset:0 ~stride:page ~count:20 ~site:"sor:north";
+        load (Reg grid0) ~offset:(2 * page) ~stride:page ~count:20 ~site:"sor:south";
+        load (Reg row) ~offset:0 ~stride:page ~count:20 ~site:"sor:west";
+        load (Reg row) ~offset:16 ~stride:page ~count:20 ~site:"sor:east";
+        load (Reg scratch) ~count:10 ~site:"sor:scratch";
+        store (Reg scratch) ~count:10 ~site:"sor:scratch";
+        store (Reg grid1) ~offset:page ~stride:page ~count:16 ~site:"sor:update";
+        barrier;
+      ]
+      ~succs:[ "sweep"; "check" ]
+  in
+  let check =
+    block "check" [ load (Reg grid0) ~stride:page ~count:10 ~site:"sor:check"; barrier ]
+  in
+  Instrument.Binary.make ~name:"sor"
+    ~procs:[ proc ~name:"sor_main" ~entry:"entry" [ entry; init; sweep; check ] ]
+    (App.runtime_sections ~name:"sor" ~library_name:"libc" ~library:48717 ~cvm:3910)
 
 let band ~rows ~nprocs ~pid =
   (* contiguous rows [lo, hi) owned by processor [pid] *)

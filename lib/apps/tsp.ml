@@ -109,8 +109,95 @@ let memory_bytes { ncities; _ } =
   (ncities * ncities * 8) + (queue_capacity * (ncities + 2) * 8) + 64
 
 let binary () =
-  App.synthetic_binary ~name:"tsp" ~stack:244 ~static_data:1213 ~library_name:"libc"
-    ~library:48717 ~cvm:3910 ~instrumented:350 ()
+  (* Synthetic image with the paper's TSP section counts (Table 2). The
+     CFG mirrors the worker loop below: pop under the queue lock, expand
+     against the read-only matrix, push children under the queue lock,
+     prune against an UNLOCKED read of the global bound, and update the
+     bound under its lock. The unlocked prune read is the deliberate
+     benign race — the lint must flag "tsp:bound_prune" against
+     "tsp:bound_update" and nothing else. The private depth-first state
+     (dfs arena, visited bitmap on the stack via a computed register) is
+     what the data-flow pass proves private. *)
+  let open Instrument.Ir in
+  let matrix = 0 and queue = 1 and bound = 2 and inflight = 3 in
+  let best = 4 and dfs = 5 and visited = 6 in
+  let page = 4096 in
+  let entry =
+    block "entry"
+      (App.fp_gp_ops ~name:"tsp" ~stack:244 ~static_data:1213
+      @ [
+          malloc_shared ~dst:matrix "tsp.matrix";
+          malloc_shared ~dst:queue "tsp.queue";
+          malloc_shared ~dst:bound "tsp.bound";
+          malloc_shared ~dst:inflight "tsp.in_flight";
+          malloc_shared ~dst:best "tsp.best_tour";
+          malloc_private ~dst:dfs "tsp.dfs";
+          lea ~dst:visited (Fp 16);
+        ])
+      ~succs:[ "init" ]
+  in
+  let init =
+    block "init"
+      [
+        store (Reg matrix) ~stride:page ~count:40 ~site:"tsp:dist_init";
+        store (Reg queue) ~stride:8 ~count:10 ~site:"tsp:queue_init";
+        store (Reg bound) ~stride:8 ~count:2 ~site:"tsp:bound_init";
+        barrier;
+      ]
+      ~succs:[ "loop" ]
+  in
+  let loop =
+    block "loop"
+      [
+        acquire lock_queue;
+        load (Reg queue) ~stride:8 ~count:20 ~site:"tsp:queue_pop";
+        store (Reg queue) ~stride:8 ~count:10 ~site:"tsp:queue_top";
+        load (Reg inflight) ~count:4 ~site:"tsp:in_flight";
+        store (Reg inflight) ~count:4 ~site:"tsp:in_flight";
+        release lock_queue;
+      ]
+      ~succs:[ "expand"; "done" ]
+  in
+  let expand =
+    block "expand"
+      [
+        load (Reg matrix) ~stride:page ~count:80 ~site:"tsp:dist_read";
+        load (Reg matrix) ~stride:page ~count:100 ~site:"tsp:lb";
+        acquire lock_queue;
+        store (Reg queue) ~stride:8 ~count:40 ~site:"tsp:queue_push";
+        release lock_queue;
+      ]
+      ~succs:[ "prune" ]
+  in
+  let prune =
+    block "prune"
+      [
+        load (Reg bound) ~count:4 ~site:"tsp:bound_prune";
+        load (Reg dfs) ~count:20 ~site:"tsp:dfs";
+        store (Reg dfs) ~count:12 ~site:"tsp:dfs";
+        load (Reg visited) ~count:8 ~site:"tsp:visited";
+        store (Reg visited) ~count:8 ~site:"tsp:visited";
+      ]
+      ~succs:[ "update"; "loop" ]
+  in
+  let update =
+    block "update"
+      [
+        acquire lock_bound;
+        load (Reg bound) ~count:4 ~site:"tsp:bound_check";
+        store (Reg bound) ~count:2 ~site:"tsp:bound_update";
+        store (Reg best) ~stride:8 ~count:20 ~site:"tsp:best_tour";
+        release lock_bound;
+      ]
+      ~succs:[ "loop" ]
+  in
+  let done_ =
+    block "done" [ barrier; load (Reg bound) ~count:10 ~site:"tsp:report" ]
+  in
+  Instrument.Binary.make ~name:"tsp"
+    ~procs:
+      [ proc ~name:"tsp_main" ~entry:"entry" [ entry; init; loop; expand; prune; update; done_ ] ]
+    (App.runtime_sections ~name:"tsp" ~library_name:"libc" ~library:48717 ~cvm:3910)
 
 type layout = {
   matrix : int;  (* ncities^2 ints *)

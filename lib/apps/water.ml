@@ -96,8 +96,116 @@ let reference { nmols; steps; _ } =
 let memory_bytes { nmols; _ } = (nmols * mol_words * 8) + 64
 
 let binary () =
-  App.synthetic_binary ~name:"water" ~stack:649 ~static_data:1919 ~library_name:"libm"
-    ~library:124716 ~cvm:3910 ~instrumented:528 ()
+  (* Synthetic image with the paper's Water section counts (Table 2). The
+     CFG mirrors one timestep of the body: clear, pairwise interactions
+     into a private accumulator, the merge under group locks, the
+     potential-energy update — racy arm (no lock, the seeded Splash2
+     bug) or fixed arm (global lock) — then the integration phase. The
+     lint must flag "water:pot_racy" against "water:pot_locked" and
+     nothing else; the private force accumulator is what the data-flow
+     pass proves private. The molecule fields are modelled as separate
+     regions (positions / velocities / forces) so the lock discipline on
+     forces is visible to the analysis. *)
+  let open Instrument.Ir in
+  let pos = 0 and frc = 1 and vel = 2 and pot = 3 and pforce = 4 in
+  let page = 4096 in
+  let entry =
+    block "entry"
+      (App.fp_gp_ops ~name:"water" ~stack:649 ~static_data:1919
+      @ [
+          malloc_shared ~dst:pos "water.positions";
+          malloc_shared ~dst:frc "water.forces";
+          malloc_shared ~dst:vel "water.velocities";
+          malloc_shared ~dst:pot "water.potential";
+          malloc_private ~dst:pforce "water.private_force";
+        ])
+      ~succs:[ "init" ]
+  in
+  let init =
+    block "init"
+      [
+        store (Reg pos) ~stride:page ~count:30 ~site:"water:init";
+        store (Reg vel) ~stride:page ~count:20 ~site:"water:init";
+        store (Reg pot) ~stride:8 ~count:2 ~site:"water:init";
+        barrier;
+      ]
+      ~succs:[ "clear" ]
+  in
+  let clear =
+    block "clear"
+      [
+        store (Reg frc) ~stride:page ~count:30 ~site:"water:clear";
+        store (Reg pot) ~stride:8 ~count:2 ~site:"water:clear";
+        barrier;
+      ]
+      ~succs:[ "compute" ]
+  in
+  let compute =
+    block "compute"
+      [
+        load (Reg pos) ~stride:page ~count:74 ~site:"water:pos";
+        load (Reg pforce) ~count:30 ~site:"water:accumulate";
+        store (Reg pforce) ~count:30 ~site:"water:accumulate";
+      ]
+      ~succs:[ "merge" ]
+  in
+  let merge =
+    block "merge"
+      [
+        acquire (lock_group 0);
+        load (Reg frc) ~stride:8 ~count:54 ~site:"water:force_merge";
+        store (Reg frc) ~stride:8 ~count:54 ~site:"water:force_merge";
+        release (lock_group 0);
+      ]
+      ~succs:[ "pot_racy"; "pot_locked" ]
+  in
+  let pot_racy =
+    block "pot_racy"
+      [
+        load (Reg pot) ~stride:8 ~count:2 ~site:"water:pot_racy";
+        store (Reg pot) ~stride:8 ~count:2 ~site:"water:pot_racy";
+      ]
+      ~succs:[ "phase_end" ]
+  in
+  let pot_locked =
+    block "pot_locked"
+      [
+        acquire lock_global;
+        load (Reg pot) ~stride:8 ~count:2 ~site:"water:pot_locked";
+        store (Reg pot) ~stride:8 ~count:2 ~site:"water:pot_locked";
+        release lock_global;
+      ]
+      ~succs:[ "phase_end" ]
+  in
+  let phase_end = block "phase_end" [ barrier ] ~succs:[ "integrate" ] in
+  let integrate =
+    block "integrate"
+      [
+        load (Reg vel) ~offset:0 ~stride:page ~count:45 ~site:"water:integrate";
+        load (Reg frc) ~offset:0 ~stride:page ~count:45 ~site:"water:integrate";
+        load (Reg pos) ~offset:0 ~stride:page ~count:45 ~site:"water:integrate";
+        store (Reg vel) ~offset:8 ~stride:page ~count:45 ~site:"water:integrate";
+        store (Reg pos) ~offset:8 ~stride:page ~count:45 ~site:"water:integrate";
+        barrier;
+      ]
+      ~succs:[ "clear"; "check" ]
+  in
+  let check =
+    block "check"
+      [
+        load (Reg pos) ~stride:page ~count:27 ~site:"water:check";
+        load (Reg pot) ~stride:8 ~count:2 ~site:"water:check_pot";
+      ]
+  in
+  Instrument.Binary.make ~name:"water"
+    ~procs:
+      [
+        proc ~name:"water_main" ~entry:"entry"
+          [
+            entry; init; clear; compute; merge; pot_racy; pot_locked; phase_end; integrate; check;
+          ];
+      ]
+    (App.runtime_sections ~name:"water" ~library_name:"libm" ~library:124716 ~cvm:3910)
 
 (* Struct offsets, in words from the start of a molecule record. *)
 let off_pos s axis = (s * 3) + axis

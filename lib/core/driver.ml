@@ -17,6 +17,21 @@ type outcome = {
 
 let run ?(cost = Sim.Cost.default) ?(cfg = Lrc.Config.default) ?(watch_addrs = [])
     ~(app : Apps.App.t) ~nprocs () =
+  (* With detection on, the static pass's redundant-check batching lowers
+     the average per-access discrimination charge (section 5.1): scale
+     the access-check cost by the fraction the analysis could not batch. *)
+  let cost =
+    if cfg.Lrc.Config.detect then begin
+      let analysis = Instrument.Static_analysis.analyze (app.Apps.App.binary ()) in
+      {
+        cost with
+        Sim.Cost.access_check_ns =
+          cost.Sim.Cost.access_check_ns
+          *. analysis.Instrument.Static_analysis.check_cost_scale;
+      }
+    end
+    else cost
+  in
   let pages = Apps.App.pages_needed app ~page_size:cost.Sim.Cost.page_size in
   let cluster = Lrc.Cluster.create ~cost ~cfg ~nprocs ~pages () in
   let watch =
@@ -26,7 +41,7 @@ let run ?(cost = Sim.Cost.default) ?(cfg = Lrc.Config.default) ?(watch_addrs = [
         let watch = Instrument.Watch.create ~addrs in
         for id = 0 to nprocs - 1 do
           Lrc.Node.set_access_observer (Lrc.Cluster.node cluster id)
-            (Instrument.Watch.observer watch)
+            (Instrument.Watch.observe watch)
         done;
         Some watch
   in

@@ -23,8 +23,11 @@ val run :
   unit ->
   outcome
 (** Run one application once. [watch_addrs] installs the section 6.1
-    watch list on every node. The application's self-check raises on a
-    wrong answer, so an [outcome] implies a correct run. *)
+    watch list on every node. With detection enabled, the per-access
+    check charge is scaled by the static pass's redundant-check batching
+    ({!Instrument.Static_analysis.analyze}). The application's
+    self-check raises on a wrong answer, so an [outcome] implies a
+    correct run. *)
 
 type slowdown = {
   base : outcome;  (** uninstrumented binary on unaltered CVM *)

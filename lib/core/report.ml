@@ -20,20 +20,20 @@ let table1 ppf rows =
 
 let table2 ppf rows =
   Format.fprintf ppf "Table 2. Instrumentation Statistics (static classification)@.";
-  hr ppf 78;
-  Format.fprintf ppf "%-8s %10s %10s %10s %8s %8s %12s@." "App" "Stack" "Static" "Library" "CVM"
-    "Inst." "Eliminated";
-  hr ppf 78;
+  hr ppf 86;
+  Format.fprintf ppf "%-8s %9s %9s %8s %9s %7s %7s %12s@." "App" "Stack" "Static" "Private"
+    "Library" "CVM" "Inst." "Eliminated";
+  hr ppf 86;
   List.iter
     (fun (r : Experiments.table2_row) ->
       let c = r.t2_class in
-      Format.fprintf ppf "%-8s %10d %10d %10d %8d %8d %11.2f%%@." r.t2_name
+      Format.fprintf ppf "%-8s %9d %9d %8d %9d %7d %7d %11.2f%%@." r.t2_name
         c.Instrument.Static_analysis.stack c.Instrument.Static_analysis.static_data
-        c.Instrument.Static_analysis.library c.Instrument.Static_analysis.cvm
-        c.Instrument.Static_analysis.instrumented
+        c.Instrument.Static_analysis.proven_private c.Instrument.Static_analysis.library
+        c.Instrument.Static_analysis.cvm c.Instrument.Static_analysis.instrumented
         (100.0 *. Instrument.Static_analysis.eliminated_fraction c))
     rows;
-  hr ppf 78;
+  hr ppf 86;
   Format.fprintf ppf "paper:   FFT 1285/1496/124716/3910/261 | SOR 342/1304/48717/3910/126@.";
   Format.fprintf ppf "         TSP 244/1213/48717/3910/350  | Water 649/1919/124716/3910/528@."
 
@@ -111,6 +111,21 @@ let ablation ppf rows =
         r.ab_diff_slowdown r.ab_full_races r.ab_diff_races)
     rows;
   hr ppf 72
+
+(* Per-application rendering of the static pass for `cvm_race analyze`:
+   the classification line, the batching summary the cost model consumes,
+   and the lint findings. *)
+let analysis ppf ~name (r : Instrument.Static_analysis.result) =
+  let open Instrument.Static_analysis in
+  Format.fprintf ppf "== %s static analysis ==@." name;
+  Format.fprintf ppf "  %a@." pp r.classification;
+  Format.fprintf ppf "  batching: %d of %d checks batched, per-check charge scale %.3f@."
+    r.batched_checks r.classification.instrumented r.check_cost_scale;
+  (match r.warnings with
+  | [] -> Format.fprintf ppf "  lint: no statically suspicious shared accesses@."
+  | ws ->
+      Format.fprintf ppf "  lint: %d warning(s)@." (List.length ws);
+      List.iter (fun w -> Format.fprintf ppf "    %a@." pp_warning w) ws)
 
 let races ?symtab ppf races =
   let pp_race =

@@ -11,5 +11,10 @@ val ablation : Format.formatter -> Experiments.ablation_row list -> unit
 val retention : Format.formatter -> Experiments.retention_row list -> unit
 val protocols : Format.formatter -> Experiments.protocol_row list -> unit
 
+val analysis :
+  Format.formatter -> name:string -> Instrument.Static_analysis.result -> unit
+(** One application's static-pass result: classification, check batching
+    and lint warnings (the `cvm_race analyze` rendering). *)
+
 val races : ?symtab:Mem.Symtab.t -> Format.formatter -> Proto.Race.t list -> unit
 (** Race reports, resolved through the symbol table when given. *)

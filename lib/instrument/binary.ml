@@ -2,13 +2,13 @@
 
    ATOM classified every load and store in a real Alpha binary by its
    addressing mode and origin. We cannot rewrite native binaries from
-   OCaml, so each application instead carries a synthetic instruction
-   table with the same metadata the real classifier keyed on: which base
-   register the access goes through (frame pointer, global pointer, or a
-   computed register) and which section of the image it lives in
-   (application text, shared libraries, or the CVM runtime itself).
-   The static analysis pass in {!Static_analysis} then reproduces the
-   elimination logic of the paper's section 5.1 on these tables. *)
+   OCaml, so each application instead carries a synthetic image with the
+   same structure the real classifier consumed: flat [sections] for code
+   we never analyze beyond its origin (shared libraries, the CVM runtime
+   itself), and application-text [procs] — register-transfer CFGs
+   ({!Ir}) whose computed addresses the data-flow analysis in
+   {!Dataflow} classifies. Whether a computed access is private is
+   *derived* by that analysis; the image carries no oracle bit. *)
 
 type kind = Load | Store
 
@@ -27,29 +27,62 @@ type instruction = {
   addressing : addressing;
   origin : origin;
   site : string;  (* symbolic "program counter": file:function#n *)
-  proven_private : bool;
-      (* the intra-basic-block data-flow analysis showed the computed
-         address can only reach private data *)
 }
 
-type t = { name : string; instructions : instruction list }
-
-let instruction_count t = List.length t.instructions
+type t = { name : string; sections : instruction list; procs : Ir.proc list }
 
 (* Builders used by the applications' [binary] descriptions. *)
 
-let make ~name instructions = { name; instructions }
+let make ~name ?(procs = []) sections =
+  List.iter Ir.validate procs;
+  { name; sections; procs }
 
 let repeat n f = List.init n f
 
-let bulk ~kind ~addressing ~origin ~prefix ?(proven_private = false) n =
-  repeat n (fun i ->
-      { kind; addressing; origin; site = Printf.sprintf "%s#%d" prefix i; proven_private })
+let bulk ~kind ~addressing ~origin ~prefix n =
+  repeat n (fun i -> { kind; addressing; origin; site = Printf.sprintf "%s#%d" prefix i })
 
 let section ~origin ~prefix ~loads ~stores =
   (* library/runtime sections: addressing is irrelevant to classification *)
   bulk ~kind:Load ~addressing:Computed ~origin ~prefix:(prefix ^ ".ld") loads
   @ bulk ~kind:Store ~addressing:Computed ~origin ~prefix:(prefix ^ ".st") stores
 
-let loads t = List.filter (fun i -> i.kind = Load) t.instructions
-let stores t = List.filter (fun i -> i.kind = Store) t.instructions
+(* Lowering: app-text procedures flatten to one instruction per static
+   access (counts expanded), keyed by the syntactic addressing mode. *)
+
+let expand_sites site count =
+  if count = 1 then [ site ] else repeat count (fun i -> Printf.sprintf "%s#%d" site i)
+
+let addressing_of_base = function
+  | Ir.Fp _ -> Frame_pointer
+  | Ir.Gp _ -> Global_pointer
+  | Ir.Reg _ -> Computed
+
+let lower_proc (proc : Ir.proc) =
+  List.concat_map
+    (fun (b : Ir.block) ->
+      List.concat_map
+        (fun (op : Ir.op) ->
+          match op with
+          | Ir.Load { base; count; site; _ } ->
+              List.map
+                (fun site ->
+                  { kind = Load; addressing = addressing_of_base base; origin = App_text; site })
+                (expand_sites site count)
+          | Ir.Store { base; count; site; _ } ->
+              List.map
+                (fun site ->
+                  { kind = Store; addressing = addressing_of_base base; origin = App_text; site })
+                (expand_sites site count)
+          | _ -> [])
+        b.Ir.ops)
+    proc.Ir.blocks
+
+let instructions t = t.sections @ List.concat_map lower_proc t.procs
+
+let instruction_count t =
+  List.length t.sections
+  + List.fold_left (fun acc p -> acc + Ir.access_count p) 0 t.procs
+
+let loads t = List.filter (fun i -> i.kind = Load) (instructions t)
+let stores t = List.filter (fun i -> i.kind = Store) (instructions t)

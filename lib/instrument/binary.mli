@@ -1,9 +1,10 @@
 (** Synthetic executable images — what our ATOM analogue analyzes.
 
-    Each instruction carries the metadata the real classifier keyed on:
-    the base register of the access (frame pointer, global pointer, or a
-    computed register) and the image section it lives in (application
-    text, a shared library, or the CVM runtime). *)
+    An image has flat [sections] (shared libraries and the CVM runtime,
+    classified by origin alone) and application-text [procs]:
+    register-transfer CFGs whose computed addresses are classified by
+    the data-flow analysis in {!Dataflow}. There is no oracle bit —
+    whether a computed access is private is derived, not asserted. *)
 
 type kind = Load | Store
 
@@ -19,29 +20,27 @@ type instruction = {
   addressing : addressing;
   origin : origin;
   site : string;  (** symbolic program counter, e.g. "file:function#n" *)
-  proven_private : bool;
-      (** the intra-basic-block data-flow analysis proved the computed
-          address private *)
 }
 
-type t = { name : string; instructions : instruction list }
+type t = { name : string; sections : instruction list; procs : Ir.proc list }
 
-val make : name:string -> instruction list -> t
-val instruction_count : t -> int
+val make : name:string -> ?procs:Ir.proc list -> instruction list -> t
+(** Validates every procedure's CFG. *)
 
-val bulk :
-  kind:kind ->
-  addressing:addressing ->
-  origin:origin ->
-  prefix:string ->
-  ?proven_private:bool ->
-  int ->
-  instruction list
+val bulk : kind:kind -> addressing:addressing -> origin:origin -> prefix:string -> int -> instruction list
 (** [bulk ~kind ~addressing ~origin ~prefix n] makes [n] alike
     instructions with distinct sites. *)
 
 val section : origin:origin -> prefix:string -> loads:int -> stores:int -> instruction list
 (** A library or runtime section (addressing irrelevant to elimination). *)
 
+val lower_proc : Ir.proc -> instruction list
+(** One instruction per static access, counts expanded, in program
+    order; addressing is the access's syntactic base. *)
+
+val instructions : t -> instruction list
+(** Sections followed by every procedure's lowered accesses. *)
+
+val instruction_count : t -> int
 val loads : t -> instruction list
 val stores : t -> instruction list

@@ -1,19 +1,55 @@
-(** The static elimination pass of paper section 5.1 (Table 2).
+(** The static elimination pass of paper section 5.1 (Table 2), computed
+    by the {!Dataflow} fixpoint instead of asserted.
 
     An instruction is proven non-shared when it addresses through the
     frame pointer (stack) or the global pointer (static data — safe
     because the DSM allocates all shared memory dynamically), lives in a
-    shared library or the CVM runtime, or was proven private by the
-    basic-block data-flow analysis. Everything else gets an inserted call
-    to the analysis routine. *)
+    shared library or the CVM runtime, or its computed address is proven
+    private by the data-flow analysis over the procedure's CFG.
+    Everything else gets an inserted call to the analysis routine.
+
+    The same fixpoint also yields redundant-check batching (an access
+    dominated by a prior check of the same base register and page pays
+    only a fraction of the discrimination cost) and a static
+    shared-access lint (conflicting sites in one barrier phase with
+    disjoint must-hold locksets). *)
 
 type classification = {
   stack : int;
   static_data : int;
+  proven_private : int;
+      (** computed addresses the data-flow analysis proved private *)
   library : int;
   cvm : int;
   instrumented : int;
 }
+
+type warning = {
+  w_proc : string;
+  w_site : string;  (** the insufficiently locked access *)
+  w_kind : Binary.kind;
+  w_region : string;  (** the shared allocation both sites may address *)
+  w_other_site : string;  (** the conflicting access *)
+  w_other_locks : int list;
+}
+
+type result = {
+  classification : classification;
+  sites : string list;  (** surviving (instrumented) sites, program order *)
+  batched_checks : int;
+  check_cost_scale : float;
+      (** average per-check charge relative to a full check, in (0, 1] *)
+  warnings : warning list;
+  provenance : (string * Dataflow.prov) list;
+      (** computed-address sites with their derived provenance *)
+}
+
+val batched_check_cost : float
+(** Cost of a batched check relative to a full one. *)
+
+val analyze : ?page_size:int -> Binary.t -> result
+(** Run the data-flow analysis over every procedure and fold in the
+    flat sections. *)
 
 val classify : Binary.t -> classification
 
@@ -26,3 +62,4 @@ val instrumented_sites : Binary.t -> string list
 (** Sites of the surviving (instrumented) instructions. *)
 
 val pp : Format.formatter -> classification -> unit
+val pp_warning : Format.formatter -> warning -> unit

@@ -30,8 +30,6 @@ let observe t ~site ~addr kind =
     | None -> Hashtbl.add t.hits key (ref 1)
   end
 
-let observer t ~site ~addr kind = observe t ~site ~addr kind
-
 let hits t =
   Hashtbl.fold
     (fun (site, addr, kind) counter acc -> { site; addr; kind; count = !counter } :: acc)

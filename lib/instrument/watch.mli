@@ -15,9 +15,8 @@ val create : addrs:int list -> t
 val watched : t -> int -> bool
 
 val observe : t -> site:string -> addr:int -> Proto.Race.access_kind -> unit
-
-val observer : t -> site:string -> addr:int -> Proto.Race.access_kind -> unit
-(** Same as {!observe}, shaped for {!Lrc.Node.set_access_observer}. *)
+(** Record an instrumented access; partially applied it is shaped for
+    {!Lrc.Node.set_access_observer}. *)
 
 val hits : t -> hit list
 (** All recorded hits, sorted by (addr, site, kind). *)

@@ -3,8 +3,8 @@
 
 let check = Alcotest.check
 
-let instruction ?(kind = Instrument.Binary.Load) ?(proven_private = false) addressing origin =
-  { Instrument.Binary.kind; addressing; origin; site = "s"; proven_private }
+let instruction ?(kind = Instrument.Binary.Load) addressing origin =
+  { Instrument.Binary.kind; addressing; origin; site = "s" }
 
 let test_classification_rules () =
   let open Instrument in
@@ -16,17 +16,38 @@ let test_classification_rules () =
         instruction Binary.Computed (Binary.Library "libc");
         instruction Binary.Computed Binary.Cvm_runtime;
         instruction Binary.Computed Binary.App_text;
-        instruction ~proven_private:true Binary.Computed Binary.App_text;
         instruction ~kind:Binary.Store Binary.Computed Binary.App_text;
       ]
   in
   let c = Static_analysis.classify binary in
-  check Alcotest.int "stack (fp + proven-private)" 2 c.Static_analysis.stack;
+  check Alcotest.int "stack" 1 c.Static_analysis.stack;
   check Alcotest.int "static" 1 c.Static_analysis.static_data;
   check Alcotest.int "library" 1 c.Static_analysis.library;
   check Alcotest.int "cvm" 1 c.Static_analysis.cvm;
-  check Alcotest.int "instrumented" 2 c.Static_analysis.instrumented;
-  check Alcotest.int "total" 7 (Static_analysis.total c)
+  check Alcotest.int "instrumented (flat computed accesses stay)" 2 c.Static_analysis.instrumented;
+  check Alcotest.int "total" 6 (Static_analysis.total c)
+
+let test_proven_private_from_cfg () =
+  (* a computed access the data-flow can trace to a private malloc is
+     proven private; one reaching a shared malloc stays instrumented *)
+  let open Instrument in
+  let p =
+    Ir.(
+      proc ~name:"p" ~entry:"b"
+        [
+          block "b"
+            [
+              malloc_private ~dst:0 "arena";
+              malloc_shared ~dst:1 "grid";
+              load (Reg 0) ~site:"private_ld";
+              store (Reg 1) ~site:"shared_st";
+            ];
+        ])
+  in
+  let c = Static_analysis.classify (Binary.make ~name:"t" ~procs:[ p ] []) in
+  check Alcotest.int "proven private" 1 c.Static_analysis.proven_private;
+  check Alcotest.int "instrumented" 1 c.Static_analysis.instrumented;
+  check Alcotest.int "stack" 0 c.Static_analysis.stack
 
 let test_library_always_eliminated () =
   (* even a frame-pointer access inside a library counts as library *)
@@ -69,7 +90,11 @@ let test_paper_binary_counts () =
       check Alcotest.int (name ^ " library") library c.Instrument.Static_analysis.library;
       check Alcotest.int (name ^ " cvm") cvm c.Instrument.Static_analysis.cvm;
       check Alcotest.int (name ^ " inst") instrumented
-        c.Instrument.Static_analysis.instrumented)
+        c.Instrument.Static_analysis.instrumented;
+      (* the CFGs also carry computed accesses the data-flow proves
+         private — on top of the paper's counts, never replacing them *)
+      if c.Instrument.Static_analysis.proven_private <= 0 then
+        Alcotest.fail (name ^ " proves no computed access private"))
     expect
 
 let test_instrumented_sites () =
@@ -78,7 +103,7 @@ let test_instrumented_sites () =
     Binary.make ~name:"t"
       [
         { Binary.kind = Binary.Load; addressing = Binary.Computed; origin = Binary.App_text;
-          site = "hot"; proven_private = false };
+          site = "hot" };
         instruction Binary.Frame_pointer Binary.App_text;
       ]
   in
@@ -110,6 +135,7 @@ let suite =
     ( "instrument",
       [
         Alcotest.test_case "classification rules" `Quick test_classification_rules;
+        Alcotest.test_case "proven private from CFG" `Quick test_proven_private_from_cfg;
         Alcotest.test_case "library elimination" `Quick test_library_always_eliminated;
         Alcotest.test_case ">99% eliminated" `Quick test_paper_binaries_over_99_percent;
         Alcotest.test_case "table 2 counts" `Quick test_paper_binary_counts;

@@ -1,6 +1,6 @@
 # Convenience targets; the source of truth is dune.
 
-.PHONY: all build test check bench clean
+.PHONY: all build test check bench faults clean
 
 all: build
 
@@ -10,12 +10,19 @@ build:
 test:
 	dune runtest
 
-# The tier-1 gate: build, tests, and the static-analysis report
-# (classification, batching, lint) over every application.
+# The tier-1 gate: build, tests, the static-analysis report
+# (classification, batching, lint) over every application, and a
+# lossy-network smoke test (20% drop must reproduce the clean run's
+# races and survive retransmission).
 check:
 	dune build
 	dune runtest
 	dune exec bin/cvm_race.exe -- analyze --all
+	dune exec bin/cvm_race.exe -- run sor --scale small -p 4 --drop 0.2 --watchdog 500
+
+# The full drop-rate sweep over every application (slow; paper scale).
+faults:
+	dune exec bench/main.exe -- faults
 
 bench:
 	dune exec bench/main.exe

@@ -157,6 +157,10 @@ let run_protocols () =
       in
       Core.Report.protocols ppf rows)
 
+let run_faults () =
+  section "Fault sweep: report stability over a lossy wire";
+  wall (fun () -> Core.Report.faults ppf (Core.Experiments.fault_sweep_all ~scale:!scale ()))
+
 let all () =
   run_table1 ();
   run_table2 ();
@@ -167,6 +171,7 @@ let all () =
   run_ablation ();
   run_retention ();
   run_protocols ();
+  run_faults ();
   run_micro ()
 
 let () =
@@ -191,12 +196,13 @@ let () =
     | "ablation" -> run_ablation ()
     | "protocols" -> run_protocols ()
     | "retention" -> run_retention ()
+    | "faults" -> run_faults ()
     | "micro" -> run_micro ()
     | "all" -> all ()
     | other ->
         Format.fprintf ppf
           "unknown experiment %S (expected \
-           table1|table2|table3|figure3|figure4|figure5|ablation|retention|protocols|micro|all)@."
+           table1|table2|table3|figure3|figure4|figure5|ablation|retention|protocols|faults|micro|all)@."
           other;
         exit 2
   in

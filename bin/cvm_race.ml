@@ -63,6 +63,51 @@ let oracle_arg =
   let doc = "Record the full access trace and cross-check against the offline oracle." in
   Arg.(value & flag & info [ "oracle" ] ~doc)
 
+(* Lossy-network flags. Any nonzero fault probability implies the
+   reliable transport; [--transport] runs it over a fault-free wire. *)
+
+let drop_arg =
+  let doc = "Per-frame wire drop probability (0.0-1.0). Implies the transport." in
+  Arg.(value & opt float 0.0 & info [ "drop" ] ~docv:"P" ~doc)
+
+let dup_arg =
+  let doc = "Per-frame wire duplication probability (0.0-1.0). Implies the transport." in
+  Arg.(value & opt float 0.0 & info [ "dup" ] ~docv:"P" ~doc)
+
+let reorder_arg =
+  let doc =
+    "Per-frame reorder probability (0.0-1.0): a chosen frame is held back by a random \
+     slice of the reorder window. Implies the transport."
+  in
+  Arg.(value & opt float 0.0 & info [ "reorder" ] ~docv:"P" ~doc)
+
+let partition_arg =
+  let doc =
+    "One-shot link partition: frames between nodes $(i)A$(i) and $(i)B$(i) (both \
+     directions) are dropped while simulated time is in [$(i)T0$(i), $(i)T1$(i)) \
+     nanoseconds. Repeatable. Implies the transport."
+  in
+  Arg.(value & opt_all (t4 int int int int) [] & info [ "partition" ] ~docv:"A,B,T0,T1" ~doc)
+
+let net_seed_arg =
+  let doc = "Seed for the network RNG streams (jitter + faults); defaults to the run seed." in
+  Arg.(value & opt (some int) None & info [ "net-seed" ] ~docv:"N" ~doc)
+
+let watchdog_arg =
+  let doc =
+    "Deadlock watchdog: abort with a structured diagnosis if this many simulated \
+     milliseconds pass without any process making progress."
+  in
+  Arg.(value & opt (some float) None & info [ "watchdog" ] ~docv:"MS" ~doc)
+
+let max_retries_arg =
+  let doc = "Transport retry cap per frame before a link is declared failed." in
+  Arg.(value & opt (some int) None & info [ "max-retries" ] ~docv:"N" ~doc)
+
+let transport_arg =
+  let doc = "Run the reliable transport even over a fault-free wire." in
+  Arg.(value & flag & info [ "transport" ] ~doc)
+
 let ppf = Format.std_formatter
 
 let config ~protocol ~no_detect ~first_race_only ~stores_from_diffs ~oracle =
@@ -73,6 +118,39 @@ let config ~protocol ~no_detect ~first_race_only ~stores_from_diffs ~oracle =
     first_race_only;
     stores_from_diffs;
     record_trace = oracle;
+  }
+
+let net_config cfg ~drop ~dup ~reorder ~partitions ~net_seed ~watchdog_ms ~max_retries
+    ~transport =
+  let fault =
+    {
+      Sim.Fault.none with
+      Sim.Fault.drop;
+      duplicate = dup;
+      reorder;
+      partitions =
+        List.map
+          (fun (a, b, t0, t1) ->
+            { Sim.Fault.p_a = a; p_b = b; p_from_ns = t0; p_until_ns = t1 })
+          partitions;
+    }
+  in
+  let transport_cfg =
+    if transport || Sim.Fault.active fault then
+      let base = Sim.Transport.default_config in
+      Some
+        (match max_retries with
+        | Some n -> { base with Sim.Transport.max_retries = n }
+        | None -> base)
+    else None
+  in
+  {
+    cfg with
+    Lrc.Config.fault;
+    transport = transport_cfg;
+    net_seed;
+    watchdog_ns =
+      (match watchdog_ms with Some ms -> Some (int_of_float (ms *. 1e6)) | None -> None);
   }
 
 let print_outcome (outcome : Core.Driver.outcome) =
@@ -86,9 +164,15 @@ let print_outcome (outcome : Core.Driver.outcome) =
 
 let run_command =
   let run app_name procs scale protocol no_detect first_race_only stores_from_diffs slowdown
-      oracle =
+      oracle drop dup reorder partitions net_seed watchdog_ms max_retries transport =
     let app = Apps.Registry.make ~scale app_name in
     let cfg = config ~protocol ~no_detect ~first_race_only ~stores_from_diffs ~oracle in
+    let cfg =
+      net_config cfg ~drop ~dup ~reorder ~partitions ~net_seed ~watchdog_ms ~max_retries
+        ~transport
+    in
+    if Sim.Fault.active cfg.Lrc.Config.fault then
+      Format.fprintf ppf "wire faults: %s@." (Sim.Fault.describe cfg.Lrc.Config.fault);
     if slowdown then begin
       let sd = Core.Driver.measure_slowdown ~cfg ~app ~nprocs:procs () in
       print_outcome sd.Core.Driver.instrumented;
@@ -113,9 +197,20 @@ let run_command =
       end
     end
   in
+  let run app_name procs scale protocol no_detect first_race_only stores_from_diffs slowdown
+      oracle drop dup reorder partitions net_seed watchdog_ms max_retries transport =
+    try
+      run app_name procs scale protocol no_detect first_race_only stores_from_diffs slowdown
+        oracle drop dup reorder partitions net_seed watchdog_ms max_retries transport
+    with Sim.Engine.Deadlock diagnosis ->
+      Format.fprintf ppf "DEADLOCK@.%s@." (Sim.Engine.diagnosis_to_string diagnosis);
+      exit 2
+  in
   let term =
     Term.(const run $ app_arg $ procs_arg $ scale_arg $ protocol_arg $ no_detect_arg
-        $ first_race_arg $ diff_stores_arg $ slowdown_arg $ oracle_arg)
+        $ first_race_arg $ diff_stores_arg $ slowdown_arg $ oracle_arg $ drop_arg $ dup_arg
+        $ reorder_arg $ partition_arg $ net_seed_arg $ watchdog_arg $ max_retries_arg
+        $ transport_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run an application under online race detection.") term
 
@@ -150,7 +245,7 @@ let hunt_command =
 
 let table_command =
   let which_arg =
-    let doc = "Which experiment: table1, table2, table3, figure3, figure4, figure5." in
+    let doc = "Which experiment: table1, table2, table3, figure3, figure4, figure5, faults." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT" ~doc)
   in
   let table which scale =
@@ -161,6 +256,7 @@ let table_command =
     | "figure3" -> Core.Report.figure3 ppf (Core.Experiments.figure3 ~scale ())
     | "figure4" -> Core.Report.figure4 ppf (Core.Experiments.figure4 ~scale ())
     | "figure5" -> Core.Report.figure5 ppf (Core.Experiments.figure5_both ())
+    | "faults" -> Core.Report.faults ppf (Core.Experiments.fault_sweep_all ~scale ())
     | other -> Format.fprintf ppf "unknown experiment %S@." other
   in
   let term = Term.(const table $ which_arg $ scale_arg) in

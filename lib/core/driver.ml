@@ -13,6 +13,7 @@ type outcome = {
   sync_trace : Lrc.Sync_trace.t option;
   watch_hits : Instrument.Watch.hit list;
   symtab : Mem.Symtab.t;  (* variable names for symbolic race reports *)
+  mem_checksum : int;  (* digest of the final shared-memory image *)
 }
 
 let run ?(cost = Sim.Cost.default) ?(cfg = Lrc.Config.default) ?(watch_addrs = [])
@@ -57,6 +58,7 @@ let run ?(cost = Sim.Cost.default) ?(cfg = Lrc.Config.default) ?(watch_addrs = [
     sync_trace = Lrc.Cluster.sync_trace cluster;
     watch_hits = (match watch with Some w -> Instrument.Watch.hits w | None -> []);
     symtab = Lrc.Cluster.symtab cluster;
+    mem_checksum = Lrc.Cluster.memory_checksum cluster;
   }
 
 type slowdown = {

@@ -12,6 +12,9 @@ type outcome = {
   sync_trace : Lrc.Sync_trace.t option;  (** present when [record_sync] *)
   watch_hits : Instrument.Watch.hit list;  (** present when watching *)
   symtab : Mem.Symtab.t;  (** variable names for symbolic race reports *)
+  mem_checksum : int;
+      (** {!Lrc.Cluster.memory_checksum} of the final shared-memory image;
+          the fault sweep compares it across drop rates *)
 }
 
 val run :

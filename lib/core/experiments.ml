@@ -277,6 +277,69 @@ let protocol_comparison ?(scale = Apps.Registry.Paper) ?(nprocs = default_procs)
     [ Lrc.Config.Single_writer; Lrc.Config.Multi_writer; Lrc.Config.Home_based ]
 
 (* ------------------------------------------------------------------ *)
+(* Robustness: race-report stability over a lossy wire                  *)
+
+type fault_row = {
+  fs_app : string;
+  fs_drop_pct : float;  (* wire drop probability, percent *)
+  fs_races : int;
+  fs_same_races : bool;  (* racy-address set equals the reliable baseline's *)
+  fs_same_mem : bool;  (* final memory checksum equals the baseline's *)
+  fs_retransmits : int;
+  fs_timeouts : int;
+  fs_dup_suppressed : int;
+  fs_time_ms : float;
+}
+
+(* Run each application over the reliable wire, then over the transport
+   with increasing wire loss, and compare: the DSM above the transport
+   must see the same exactly-once FIFO network, so the set of racy
+   addresses is expected to be stable. Full bit-identity (every report
+   and the final memory image) additionally holds for barrier-only
+   applications; retransmission delays can reorder lock grants, so for
+   lock-based applications last-writer-dependent words may differ — the
+   rows report the comparison rather than asserting it. *)
+let fault_sweep ?(scale = Apps.Registry.Paper) ?(nprocs = default_procs)
+    ?(drops = [ 0.0; 0.05; 0.2 ]) name =
+  let app = Apps.Registry.make ~scale name in
+  let baseline = Driver.run ~app ~nprocs () in
+  let base_addrs = Driver.racy_addrs baseline in
+  List.map
+    (fun drop ->
+      let fault =
+        {
+          Sim.Fault.none with
+          Sim.Fault.drop;
+          duplicate = drop /. 4.0;
+          reorder = drop /. 2.0;
+        }
+      in
+      let cfg =
+        {
+          Lrc.Config.default with
+          Lrc.Config.fault;
+          transport = Some Sim.Transport.default_config;
+        }
+      in
+      let outcome = Driver.run ~cfg ~app ~nprocs () in
+      let stats = outcome.Driver.stats in
+      {
+        fs_app = app.Apps.App.name;
+        fs_drop_pct = 100.0 *. drop;
+        fs_races = List.length outcome.Driver.races;
+        fs_same_races = Driver.racy_addrs outcome = base_addrs;
+        fs_same_mem = outcome.Driver.mem_checksum = baseline.Driver.mem_checksum;
+        fs_retransmits = stats.Sim.Stats.retransmits;
+        fs_timeouts = stats.Sim.Stats.rto_timeouts;
+        fs_dup_suppressed = stats.Sim.Stats.dup_suppressed;
+        fs_time_ms = float_of_int outcome.Driver.sim_time_ns /. 1e6;
+      })
+    drops
+
+let fault_sweep_all ?scale ?nprocs ?drops () =
+  List.concat_map (fault_sweep ?scale ?nprocs ?drops) Apps.Registry.all_names
+
+(* ------------------------------------------------------------------ *)
 (* Section 6.1 ablation: single-run site retention vs plain detection   *)
 
 type retention_row = {

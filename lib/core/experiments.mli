@@ -114,6 +114,36 @@ val protocol_comparison :
 (** Baseline (no-detection) runs over single-writer, multi-writer and
     home-based coherence. *)
 
+type fault_row = {
+  fs_app : string;
+  fs_drop_pct : float;  (** wire drop probability, percent *)
+  fs_races : int;
+  fs_same_races : bool;  (** racy-address set equals the reliable baseline's *)
+  fs_same_mem : bool;  (** final memory checksum equals the baseline's *)
+  fs_retransmits : int;
+  fs_timeouts : int;
+  fs_dup_suppressed : int;
+  fs_time_ms : float;
+}
+
+val fault_sweep :
+  ?scale:Apps.Registry.scale ->
+  ?nprocs:int ->
+  ?drops:float list ->
+  string ->
+  fault_row list
+(** One application over the reliable wire, then over {!Sim.Transport}
+    with each wire-loss rate in [drops] (default 0%, 5%, 20%; duplication
+    and reorder scale with the drop rate). Rows compare racy-address sets
+    and final memory checksums against the reliable baseline. *)
+
+val fault_sweep_all :
+  ?scale:Apps.Registry.scale ->
+  ?nprocs:int ->
+  ?drops:float list ->
+  unit ->
+  fault_row list
+
 type retention_row = {
   rt_app : string;
   rt_plain_slowdown : float;

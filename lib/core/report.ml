@@ -152,6 +152,26 @@ let protocols ppf rows =
     rows;
   hr ppf 86
 
+let faults ppf rows =
+  Format.fprintf ppf "Fault sweep: race-report stability over a lossy wire@.";
+  hr ppf 92;
+  Format.fprintf ppf "%-8s %7s %7s %11s %9s %9s %9s %9s %10s@." "App" "Drop%" "Races"
+    "SameRaces" "SameMem" "Retrans" "Timeouts" "DupSupp" "Time(ms)";
+  hr ppf 92;
+  List.iter
+    (fun (r : Experiments.fault_row) ->
+      Format.fprintf ppf "%-8s %7.1f %7d %11s %9s %9d %9d %9d %10.1f@." r.fs_app r.fs_drop_pct
+        r.fs_races
+        (if r.fs_same_races then "yes" else "NO")
+        (if r.fs_same_mem then "yes" else "NO")
+        r.fs_retransmits r.fs_timeouts r.fs_dup_suppressed r.fs_time_ms)
+    rows;
+  hr ppf 92;
+  Format.fprintf ppf
+    "expect:  racy-address sets stable at every drop rate; barrier-only apps (SOR@.";
+  Format.fprintf ppf
+    "         and FFT) also bit-identical in memory; retransmits > 0 when drop > 0.@."
+
 let retention ppf rows =
   Format.fprintf ppf
     "Ablation (section 6.1): single-run site retention vs two-run replay@.";

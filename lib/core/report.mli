@@ -9,6 +9,7 @@ val figure4 : Format.formatter -> Experiments.figure4_row list -> unit
 val figure5 : Format.formatter -> Experiments.figure5_result list -> unit
 val ablation : Format.formatter -> Experiments.ablation_row list -> unit
 val retention : Format.formatter -> Experiments.retention_row list -> unit
+val faults : Format.formatter -> Experiments.fault_row list -> unit
 val protocols : Format.formatter -> Experiments.protocol_row list -> unit
 
 val analysis :

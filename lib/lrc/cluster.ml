@@ -44,12 +44,33 @@ let create ?(cost = Sim.Cost.default) ?(cfg = Config.default) ~nprocs ~pages () 
   in
   let nodes = Array.init nprocs (fun id -> Node.create runtime ~id ~nprocs) in
   let size_of = Message.size ~with_read_notices:cfg.Config.detect in
-  let rng = Sim.Rng.create ~seed:cfg.Config.seed in
-  let net = Sim.Net.create ~rng engine cost stats ~nodes:nprocs ~size_of in
+  (* The jitter and fault-plan RNGs are split from one root so they are
+     independent streams: enabling fault injection does not perturb the
+     jitter draws of an otherwise identical run. *)
+  let net_seed =
+    match cfg.Config.net_seed with Some s -> s | None -> cfg.Config.seed
+  in
+  let root_rng = Sim.Rng.create ~seed:net_seed in
+  let jitter_rng = Sim.Rng.split root_rng in
+  let fault_rng = Sim.Rng.split root_rng in
+  let transport =
+    match (cfg.Config.transport, Sim.Fault.active cfg.Config.fault) with
+    | (Some _ as tr), _ -> tr
+    | None, true -> Some Sim.Transport.default_config
+    | None, false -> None
+  in
+  let net =
+    Sim.Net.create ~rng:jitter_rng ~fault:(Sim.Fault.validate cfg.Config.fault)
+      ~fault_rng ?transport engine cost stats ~nodes:nprocs ~size_of
+  in
   runtime.Node.net <- Some net;
   Array.iteri
     (fun id node -> Sim.Net.set_handler net ~node:id (Node.handle_message node))
     nodes;
+  Sim.Engine.set_stall_budget engine cfg.Config.watchdog_ns;
+  Sim.Engine.add_diagnostic engine (fun () -> Sim.Net.diagnostics net);
+  Sim.Engine.add_diagnostic engine (fun () ->
+      Node.service_diagnostics nodes.(0));
   {
     engine;
     cost;
@@ -110,6 +131,23 @@ let race_sites t (race : Proto.Race.t) =
   (side race.first, side race.second)
 
 let sim_time t = Sim.Engine.now t.engine
+
+let memory_checksum t =
+  (* FNV-1a over the final shared-memory contents: for each page, the
+     first coherent copy found on any node. Which node caches which page
+     is timing-dependent (and irrelevant); the coherent bytes are not. *)
+  let h = ref 0xcbf29ce484222325L in
+  let mix byte = h := Int64.mul (Int64.logxor !h (Int64.of_int byte)) 0x100000001b3L in
+  for page = 0 to t.geometry.Mem.Geometry.pages - 1 do
+    match Array.find_map (fun node -> Node.coherent_page_raw node page) t.nodes with
+    | None -> mix 0xFF
+    | Some raw ->
+        mix 0x01;
+        for i = 0 to Bytes.length raw - 1 do
+          mix (Char.code (Bytes.unsafe_get raw i))
+        done
+  done;
+  Int64.to_int (Int64.logand !h 0x3fffffffffffffffL)
 
 let stats t = t.stats
 let symtab t = t.symtab

@@ -40,6 +40,11 @@ val race_sites : t -> Proto.Race.t -> string option * string option
 val sim_time : t -> int
 (** Final simulated time in nanoseconds. *)
 
+val memory_checksum : t -> int
+(** Combined digest of every node's view of the shared segment. The fault
+    sweep compares it across drop rates: a lossy run that converges must
+    reproduce the reliable baseline's memory image bit for bit. *)
+
 val stats : t -> Sim.Stats.t
 val symtab : t -> Mem.Symtab.t
 val geometry : t -> Mem.Geometry.t

@@ -32,6 +32,17 @@ type t = {
   replay : Sync_trace.t option;  (* enforce a recorded lock-grant order *)
   record_sync : bool;  (* record lock-grant order for later replay *)
   seed : int;
+  fault : Sim.Fault.plan;
+      (* wire fault plan (drops/dups/reorder/partitions); requires the
+         transport when active *)
+  transport : Sim.Transport.config option;
+      (* Some: run the reliable transport (seq numbers, acks,
+         retransmission) between the DSM and the wire *)
+  watchdog_ns : int option;
+      (* virtual-time stall budget for the engine's deadlock watchdog *)
+  net_seed : int option;
+      (* separate seed for the network RNGs (jitter + faults); defaults
+         to [seed] so existing runs are unchanged *)
 }
 
 let default =
@@ -45,6 +56,10 @@ let default =
     replay = None;
     record_sync = false;
     seed = 42;
+    fault = Sim.Fault.none;
+    transport = None;
+    watchdog_ns = None;
+    net_seed = None;
   }
 
 let protocol_name = function

@@ -34,6 +34,20 @@ type t = {
   replay : Sync_trace.t option;  (** enforce a recorded lock-grant order *)
   record_sync : bool;  (** record lock-grant order for later replay *)
   seed : int;
+  fault : Sim.Fault.plan;
+      (** wire fault plan (drops, duplicates, reorder, delay spikes,
+          partitions); an active plan requires [transport] *)
+  transport : Sim.Transport.config option;
+      (** [Some cfg]: run the reliable transport (sequence numbers,
+          cumulative acks, capped exponential-backoff retransmission)
+          between the DSM and the wire *)
+  watchdog_ns : int option;
+      (** virtual-time stall budget: if this many simulated nanoseconds
+          pass without any process making progress, the run aborts with a
+          structured {!Sim.Engine.Deadlock} diagnosis *)
+  net_seed : int option;
+      (** separate seed for the network RNG streams (jitter and fault
+          plan); [None] derives them from [seed] *)
 }
 
 val default : t

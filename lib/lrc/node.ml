@@ -10,7 +10,18 @@
    Processor 0 additionally plays three central roles, as in the paper's
    prototype: lock manager, page manager (single-writer ownership
    directory), and barrier master (where the race-detection algorithm
-   runs). *)
+   runs).
+
+   Delivery-semantics audit: these handlers are NOT idempotent. A
+   re-delivered Lock_req would enqueue a second grant, a duplicated
+   Diff_data would re-apply a diff against a base it already mutated, and
+   a repeated Barrier_arrive would corrupt the arrival count. They also
+   assume per-link FIFO (e.g. Own_data must not overtake the Inv that
+   precedes it). The network therefore owes this layer exactly-once FIFO
+   delivery: the default wire provides it directly, and in lossy mode
+   {!Sim.Transport} (sequence numbers, cumulative acks, retransmission,
+   duplicate suppression) restores it before messages reach
+   [handle_message]. *)
 
 type pstate = P_invalid | P_read | P_write
 
@@ -1308,3 +1319,41 @@ let geometry t = t.rt.geometry
 let cost t = t.rt.cost
 let stats t = t.rt.stats
 let config t = t.rt.cfg
+
+let coherent_page_raw t page =
+  (* This node's copy of [page], but only if it is coherent: a valid copy
+     with no pending write notices. An invalidated copy's bytes are a
+     timing-dependent stale snapshot (false sharing), while after the
+     final barrier every still-valid copy provably matches the
+     authoritative contents — all coherent copies of a page agree. *)
+  let entry = t.pages.(page) in
+  if entry.state = P_invalid || entry.pending <> [] then None
+  else Some (Mem.Page.raw entry.data)
+
+let service_diagnostics t =
+  (* Central-service queue depths at the manager, for the deadlock
+     watchdog's structured diagnosis. *)
+  let lines = ref [] in
+  Hashtbl.iter
+    (fun lck m ->
+      if not (Queue.is_empty m.parked) then
+        lines :=
+          Printf.sprintf "lock %d: %d request(s) parked at the manager" lck
+            (Queue.length m.parked)
+          :: !lines)
+    t.lock_mgrs;
+  Array.iteri
+    (fun page m ->
+      if not (Queue.is_empty m.waiting) then
+        lines :=
+          Printf.sprintf "page %d: %d request(s) queued at the page manager (busy=%b)"
+            page (Queue.length m.waiting) m.busy
+          :: !lines)
+    t.page_mgrs;
+  if t.barrier.arrivals <> [] then
+    lines :=
+      Printf.sprintf "barrier: %d of %d arrival(s) at the master"
+        (List.length t.barrier.arrivals)
+        t.nprocs
+      :: !lines;
+  List.sort compare !lines

@@ -85,6 +85,17 @@ val stats : t -> Sim.Stats.t
 val config : t -> Config.t
 val is_manager : t -> bool
 
+val coherent_page_raw : t -> int -> Bytes.t option
+(** This node's copy of a page, if coherent: valid and with no pending
+    write notices. All coherent copies of a page agree once the run is
+    over, so {!Cluster.memory_checksum} can hash any one of them. *)
+
+val service_diagnostics : t -> string list
+(** Queue depths of the central services hosted at this node (parked lock
+    requests, queued page-ownership requests, barrier arrivals) — only
+    nonempty at the manager. Fed to {!Sim.Engine.add_diagnostic} so a
+    deadlock diagnosis shows where requests are stuck. *)
+
 val set_access_observer :
   t -> (site:string -> addr:int -> Proto.Race.access_kind -> unit) -> unit
 (** Hook every instrumented shared access (watch mode, section 6.1). *)

@@ -11,6 +11,7 @@ type t = {
   proc_call_ns : float;  (* overhead of the inserted analysis-routine call *)
   access_check_ns : float;  (* shared/private discrimination + bitmap set *)
   msg_latency_ns : int;  (* one-way wire + protocol stack latency *)
+  loopback_ns : int;  (* self-delivery: protocol stack only, no wire *)
   byte_ns : float;  (* per-byte transmission time *)
   fault_ns : int;  (* local cost of taking a page fault (protocol upcall) *)
   page_copy_word_ns : float;  (* memcpy cost per word when servicing a page *)
@@ -33,6 +34,7 @@ let default =
     proc_call_ns = 120.0;
     access_check_ns = 200.0;
     msg_latency_ns = 110_000;
+    loopback_ns = 2_000;
     byte_ns = 55.0 (* ~145 Mbit/s effective on 155 Mbit ATM *);
     fault_ns = 150_000;
     page_copy_word_ns = 40.0;

@@ -9,6 +9,7 @@ type t = {
   proc_call_ns : float;
   access_check_ns : float;
   msg_latency_ns : int;
+  loopback_ns : int;  (** self-delivery delay: protocol stack only, no wire *)
   byte_ns : float;
   fault_ns : int;
   page_copy_word_ns : float;

@@ -1,0 +1,127 @@
+(* Seeded per-link fault injection: the hostile network CVM's end-to-end
+   UDP protocols had to survive. A [plan] describes what the wire may do
+   to a frame — drop it, duplicate it, delay it into a reorder, spike its
+   latency, or black-hole it during a scheduled partition. Every decision
+   is drawn from a per-link SplitMix stream, so a (plan, seed) pair always
+   produces the same fault schedule regardless of what any other link (or
+   the jitter model) draws. *)
+
+type partition = {
+  p_a : int;  (* link endpoints; faults apply in both directions *)
+  p_b : int;
+  p_from_ns : int;
+  p_until_ns : int;
+}
+
+type plan = {
+  drop : float;  (* probability a wire frame is lost *)
+  duplicate : float;  (* probability a second copy is injected *)
+  reorder : float;  (* probability a frame is held back (extra delay) *)
+  reorder_window_ns : int;  (* max hold-back for a reordered frame *)
+  spike : float;  (* probability of a latency spike *)
+  spike_ns : int;  (* spike magnitude *)
+  partitions : partition list;  (* one-shot scheduled link outages *)
+}
+
+let none =
+  {
+    drop = 0.0;
+    duplicate = 0.0;
+    reorder = 0.0;
+    reorder_window_ns = 800_000;
+    spike = 0.0;
+    spike_ns = 2_000_000;
+    partitions = [];
+  }
+
+let active plan =
+  plan.drop > 0.0 || plan.duplicate > 0.0 || plan.reorder > 0.0 || plan.spike > 0.0
+  || plan.partitions <> []
+
+let validate plan =
+  let prob name p =
+    if p < 0.0 || p > 1.0 then
+      invalid_arg (Printf.sprintf "Fault: %s probability %g outside [0,1]" name p)
+  in
+  prob "drop" plan.drop;
+  prob "duplicate" plan.duplicate;
+  prob "reorder" plan.reorder;
+  prob "spike" plan.spike;
+  if plan.reorder_window_ns < 0 || plan.spike_ns < 0 then
+    invalid_arg "Fault: negative delay window";
+  List.iter
+    (fun p ->
+      if p.p_from_ns < 0 || p.p_until_ns < p.p_from_ns then
+        invalid_arg "Fault: partition window must satisfy 0 <= from <= until")
+    plan.partitions;
+  plan
+
+type t = {
+  plan : plan;
+  links : Rng.t array;  (* one independent stream per (src, dst) link *)
+  nodes : int;
+}
+
+let create ~nodes ~rng plan =
+  let plan = validate plan in
+  { plan; nodes; links = Array.init (nodes * nodes) (fun _ -> Rng.split rng) }
+
+let partitioned t ~src ~dst ~now =
+  List.exists
+    (fun p ->
+      ((p.p_a = src && p.p_b = dst) || (p.p_a = dst && p.p_b = src))
+      && now >= p.p_from_ns && now < p.p_until_ns)
+    t.plan.partitions
+
+(* The verdict for one wire frame: a list of extra delivery delays, one
+   per surviving copy. [] means the frame was lost. Draw order is fixed
+   (drop, duplicate, then per-copy reorder/spike) so a given link stream
+   yields the same schedule independent of traffic on other links. *)
+let judge t ~src ~dst ~now =
+  if not (active t.plan) then [ 0 ]
+  else if partitioned t ~src ~dst ~now then []
+  else begin
+    let rng = t.links.((src * t.nodes) + dst) in
+    let dropped = t.plan.drop > 0.0 && Rng.float rng 1.0 < t.plan.drop in
+    let copies =
+      if t.plan.duplicate > 0.0 && Rng.float rng 1.0 < t.plan.duplicate then 2 else 1
+    in
+    let extra_delay () =
+      let held =
+        if t.plan.reorder > 0.0 && Rng.float rng 1.0 < t.plan.reorder then
+          Rng.int rng (t.plan.reorder_window_ns + 1)
+        else 0
+      in
+      let spiked =
+        if t.plan.spike > 0.0 && Rng.float rng 1.0 < t.plan.spike then t.plan.spike_ns
+        else 0
+      in
+      held + spiked
+    in
+    let delays = List.init copies (fun _ -> extra_delay ()) in
+    if dropped then (match delays with [] | [ _ ] -> [] | _ :: rest -> rest)
+    else delays
+  end
+
+let describe plan =
+  if not (active plan) then "none"
+  else
+    String.concat ", "
+      (List.filter
+         (fun s -> s <> "")
+         [
+           (if plan.drop > 0.0 then Printf.sprintf "drop %.0f%%" (100.0 *. plan.drop) else "");
+           (if plan.duplicate > 0.0 then
+              Printf.sprintf "dup %.0f%%" (100.0 *. plan.duplicate)
+            else "");
+           (if plan.reorder > 0.0 then
+              Printf.sprintf "reorder %.0f%% (window %d ns)" (100.0 *. plan.reorder)
+                plan.reorder_window_ns
+            else "");
+           (if plan.spike > 0.0 then
+              Printf.sprintf "spike %.0f%% (+%d ns)" (100.0 *. plan.spike) plan.spike_ns
+            else "");
+           (match plan.partitions with
+           | [] -> ""
+           | ps -> Printf.sprintf "%d partition window(s)" (List.length ps));
+         ])

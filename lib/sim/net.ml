@@ -1,12 +1,26 @@
-(* Simulated network: reliable, ordered point-to-point messages with a
-   latency + bandwidth cost model, standing in for CVM's end-to-end UDP
-   protocols on 155 Mbit ATM.
+(* Simulated network: point-to-point messages with a latency + bandwidth
+   cost model, standing in for CVM's end-to-end UDP protocols on 155 Mbit
+   ATM.
+
+   Two modes:
+
+   - Reliable wire (default, the seed behaviour): every message is
+     delivered exactly once; per-link FIFO order is enforced even under
+     delivery jitter.
+
+   - Lossy wire + reliable transport: an active {!Fault} plan may drop,
+     duplicate, reorder or delay every wire frame (and acks!), and
+     {!Transport} restores the exactly-once FIFO view above it with
+     sequence numbers, cumulative acks and capped exponential-backoff
+     retransmission. Byte accounting happens per wire frame, so
+     retransmitted bytes are charged.
 
    Delivery invokes the destination node's handler directly, at delivery
    time, the way CVM services requests from a SIGIO handler: protocol
    requests are serviced even while the node's application code is blocked
    or computing. Handlers route replies to the waiting application
-   coroutine themselves. *)
+   coroutine themselves. Self-sends use the loopback path: no wire, no
+   faults, {!Cost.t.loopback_ns} delay. *)
 
 type 'msg node = {
   id : int;
@@ -21,20 +35,12 @@ type 'msg t = {
   stats : Stats.t;
   nodes : 'msg node array;
   size_of : 'msg -> int;
-  rng : Rng.t;  (* jitter source (failure injection) *)
+  rng : Rng.t;  (* jitter stream — independent from the fault streams *)
   last_delivery : int array;  (* per (src, dst) link: preserve FIFO under jitter *)
+  in_flight : int array;  (* per link: wire frames scheduled, not yet delivered *)
+  fault : Fault.t option;
+  mutable transport : 'msg Transport.t option;
 }
-
-let create ?(rng = Rng.create ~seed:0) engine cost stats ~nodes ~size_of =
-  {
-    engine;
-    cost;
-    stats;
-    size_of;
-    rng;
-    last_delivery = Array.make (nodes * nodes) 0;
-    nodes = Array.init nodes (fun id -> { id; inbox = Queue.create (); handler = None; waiter = None });
-  }
 
 let node_count t = Array.length t.nodes
 
@@ -51,23 +57,102 @@ let deliver t node msg =
           Engine.wake t.engine pid
       | None -> ())
 
+let base_delay t ~bytes =
+  let delay = Cost.message_ns t.cost ~bytes in
+  if t.cost.Cost.jitter_ns > 0 then delay + Rng.int t.rng (t.cost.Cost.jitter_ns + 1)
+  else delay
+
+let link_of t ~src ~dst = (src * Array.length t.nodes) + dst
+
+(* Reliable delivery with the per-link FIFO clamp (seed behaviour). *)
+let deliver_ordered t ~src ~dst ~delay msg =
+  let link = link_of t ~src ~dst in
+  let at = max (Engine.now t.engine + delay) (t.last_delivery.(link) + 1) in
+  t.last_delivery.(link) <- at;
+  t.in_flight.(link) <- t.in_flight.(link) + 1;
+  let node = t.nodes.(dst) in
+  Engine.schedule t.engine ~at (fun () ->
+      t.in_flight.(link) <- t.in_flight.(link) - 1;
+      deliver t node msg)
+
 let send t ~src ~dst msg =
   if dst < 0 || dst >= Array.length t.nodes then invalid_arg "Net.send: bad destination";
   let bytes = t.size_of msg in
   t.stats.Stats.messages <- t.stats.Stats.messages + 1;
-  t.stats.Stats.fragments <- t.stats.Stats.fragments + Cost.fragments t.cost ~bytes;
-  t.stats.Stats.bytes <- t.stats.Stats.bytes + Cost.wire_bytes t.cost ~bytes;
-  let delay = if src = dst then 2_000 else Cost.message_ns t.cost ~bytes in
-  let delay =
-    if t.cost.Cost.jitter_ns > 0 then delay + Rng.int t.rng (t.cost.Cost.jitter_ns + 1)
-    else delay
+  if src = dst then begin
+    (* loopback: protocol stack only — no wire, no faults, no transport *)
+    t.stats.Stats.fragments <- t.stats.Stats.fragments + Cost.fragments t.cost ~bytes;
+    t.stats.Stats.bytes <- t.stats.Stats.bytes + Cost.wire_bytes t.cost ~bytes;
+    deliver_ordered t ~src ~dst ~delay:t.cost.Cost.loopback_ns msg
+  end
+  else
+    match t.transport with
+    | Some transport -> Transport.send transport ~src ~dst msg
+    | None ->
+        t.stats.Stats.fragments <- t.stats.Stats.fragments + Cost.fragments t.cost ~bytes;
+        t.stats.Stats.bytes <- t.stats.Stats.bytes + Cost.wire_bytes t.cost ~bytes;
+        deliver_ordered t ~src ~dst ~delay:(base_delay t ~bytes) msg
+
+let create ?(rng = Rng.create ~seed:0) ?(fault = Fault.none) ?fault_rng ?transport engine
+    cost stats ~nodes ~size_of =
+  if Fault.active fault && transport = None then
+    invalid_arg "Net.create: an active fault plan requires the reliable transport";
+  let t =
+    {
+      engine;
+      cost;
+      stats;
+      size_of;
+      rng;
+      last_delivery = Array.make (nodes * nodes) 0;
+      in_flight = Array.make (nodes * nodes) 0;
+      fault =
+        (if transport = None then None
+         else
+           let frng =
+             match fault_rng with Some r -> r | None -> Rng.create ~seed:1
+           in
+           Some (Fault.create ~nodes ~rng:frng fault));
+      transport = None;
+      nodes = Array.init nodes (fun id -> { id; inbox = Queue.create (); handler = None; waiter = None });
+    }
   in
-  (* a later send on the same link never overtakes an earlier one *)
-  let link = (src * Array.length t.nodes) + dst in
-  let at = max (Engine.now t.engine + delay) (t.last_delivery.(link) + 1) in
-  t.last_delivery.(link) <- at;
-  let node = t.nodes.(dst) in
-  Engine.schedule t.engine ~at (fun () -> deliver t node msg)
+  (match transport with
+  | None -> ()
+  | Some cfg ->
+      let payload_bytes = size_of in
+      (* the wire below the transport: per-frame byte accounting, fault
+         verdicts, unclamped delivery *)
+      let wire_send ~src ~dst frame =
+        let bytes = Transport.frame_bytes cfg ~payload_bytes frame in
+        stats.Stats.fragments <- stats.Stats.fragments + Cost.fragments cost ~bytes;
+        stats.Stats.bytes <- stats.Stats.bytes + Cost.wire_bytes cost ~bytes;
+        let verdicts =
+          match t.fault with
+          | Some fault -> Fault.judge fault ~src ~dst ~now:(Engine.now engine)
+          | None -> [ 0 ]
+        in
+        (match verdicts with
+        | [] -> stats.Stats.frames_dropped <- stats.Stats.frames_dropped + 1
+        | _ :: extra_copies ->
+            stats.Stats.frames_duplicated <-
+              stats.Stats.frames_duplicated + List.length extra_copies);
+        let link = link_of t ~src ~dst in
+        List.iter
+          (fun extra ->
+            let at = Engine.now engine + base_delay t ~bytes + extra in
+            t.in_flight.(link) <- t.in_flight.(link) + 1;
+            Engine.schedule engine ~at (fun () ->
+                t.in_flight.(link) <- t.in_flight.(link) - 1;
+                match t.transport with
+                | Some tr -> Transport.wire_receive tr ~src ~dst frame
+                | None -> ()))
+          verdicts
+      in
+      let deliver_up ~src:_ ~dst payload = deliver t t.nodes.(dst) payload in
+      t.transport <-
+        Some (Transport.create cfg engine stats ~nodes ~wire_send ~deliver:deliver_up));
+  t
 
 (* Blocking receive for nodes that drain their inbox from application code
    (used by tests and simple examples; the DSM uses handlers instead). *)
@@ -82,3 +167,22 @@ let recv t ~node:id =
         wait ()
   in
   wait ()
+
+let transport t = t.transport
+
+let diagnostics t =
+  let n = Array.length t.nodes in
+  let wire_lines = ref [] in
+  for src = n - 1 downto 0 do
+    for dst = n - 1 downto 0 do
+      let inflight = t.in_flight.(link_of t ~src ~dst) in
+      if inflight > 0 then
+        wire_lines :=
+          Printf.sprintf "link %d->%d: %d frame(s) in flight on the wire" src dst inflight
+          :: !wire_lines
+    done
+  done;
+  let transport_lines =
+    match t.transport with Some tr -> Transport.diagnostics tr | None -> []
+  in
+  !wire_lines @ transport_lines

@@ -27,6 +27,14 @@ type t = {
   mutable bytes : int;
   mutable read_notice_bytes : int;  (* bandwidth added by read notices *)
   mutable baseline_bytes : int;  (* bytes an unmodified CVM would have sent *)
+  (* reliable-transport counters (lossy-network mode) *)
+  mutable retransmits : int;  (* data frames re-sent after an RTO *)
+  mutable rto_timeouts : int;  (* retransmission timer firings *)
+  mutable dup_suppressed : int;  (* duplicate frames dropped at the receiver *)
+  mutable frames_dropped : int;  (* wire frames lost to fault injection *)
+  mutable frames_duplicated : int;  (* extra copies created by fault injection *)
+  mutable acks_sent : int;  (* cumulative-ack frames *)
+  mutable link_failures : int;  (* links that exhausted the retry cap *)
   mutable read_faults : int;
   mutable write_faults : int;
   mutable diffs_created : int;
@@ -58,6 +66,13 @@ let create () =
     bytes = 0;
     read_notice_bytes = 0;
     baseline_bytes = 0;
+    retransmits = 0;
+    rto_timeouts = 0;
+    dup_suppressed = 0;
+    frames_dropped = 0;
+    frames_duplicated = 0;
+    acks_sent = 0;
+    link_failures = 0;
     read_faults = 0;
     write_faults = 0;
     diffs_created = 0;
@@ -99,6 +114,10 @@ let shared_accesses t = t.shared_reads + t.shared_writes
 
 let instrumented_accesses t = shared_accesses t + t.private_accesses
 
+let transport_active t =
+  t.retransmits > 0 || t.rto_timeouts > 0 || t.dup_suppressed > 0 || t.frames_dropped > 0
+  || t.frames_duplicated > 0 || t.acks_sent > 0 || t.link_failures > 0
+
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>messages: %d in %d fragments (%d bytes, %d read-notice bytes)@ faults: %dr/%dw, pages fetched: %d@ \
@@ -108,4 +127,10 @@ let pp ppf t =
     t.messages t.fragments t.bytes t.read_notice_bytes t.read_faults t.write_faults t.pages_fetched
     t.intervals_created t.interval_comparisons t.concurrent_pairs t.overlapping_pairs
     t.bitmaps_requested t.bitmap_comparisons t.shared_reads t.shared_writes t.private_accesses
-    t.lock_acquires t.barriers t.races_reported
+    t.lock_acquires t.barriers t.races_reported;
+  if transport_active t then
+    Format.fprintf ppf
+      "@ transport: %d retransmits (%d timeouts), %d dropped, %d duplicated, %d dup-suppressed, \
+       %d acks, %d failed links"
+      t.retransmits t.rto_timeouts t.frames_dropped t.frames_duplicated t.dup_suppressed
+      t.acks_sent t.link_failures

@@ -21,6 +21,13 @@ type t = {
   mutable bytes : int;
   mutable read_notice_bytes : int;
   mutable baseline_bytes : int;
+  mutable retransmits : int;  (** data frames re-sent after an RTO *)
+  mutable rto_timeouts : int;  (** retransmission timer firings *)
+  mutable dup_suppressed : int;  (** duplicate frames dropped at the receiver *)
+  mutable frames_dropped : int;  (** wire frames lost to fault injection *)
+  mutable frames_duplicated : int;  (** extra copies created by fault injection *)
+  mutable acks_sent : int;  (** cumulative-ack frames *)
+  mutable link_failures : int;  (** links that exhausted the retry cap *)
   mutable read_faults : int;
   mutable write_faults : int;
   mutable diffs_created : int;

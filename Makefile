@@ -11,14 +11,19 @@ test:
 	dune runtest
 
 # The tier-1 gate: build, tests, the static-analysis report
-# (classification, batching, lint) over every application, and a
+# (classification, batching, lint) over every application, a
 # lossy-network smoke test (20% drop must reproduce the clean run's
-# races and survive retransmission).
+# races and survive retransmission), and a record->replay smoke test
+# (a lossy run's trace log must verify cleanly on re-execution, with
+# the identical race set and memory checksum).
 check:
 	dune build
 	dune runtest
 	dune exec bin/cvm_race.exe -- analyze --all
 	dune exec bin/cvm_race.exe -- run sor --scale small -p 4 --drop 0.2 --watchdog 500
+	dune exec bin/cvm_race.exe -- record sor --scale small -p 4 --drop 0.2 -o _build/sor.cvmt
+	dune exec bin/cvm_race.exe -- replay _build/sor.cvmt
+	dune exec bin/cvm_race.exe -- replay --log-only _build/sor.cvmt
 
 # The full drop-rate sweep over every application (slow; paper scale).
 faults:

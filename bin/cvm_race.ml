@@ -6,6 +6,13 @@
      hunt    the full section 6.1 flow: a detection run, then a replayed
              run with a watch list that maps each racy address to the
              source sites that touched it
+     record  run with the deterministic trace recorder and save the
+             binary event log
+     replay  re-execute a recorded run and verify the event streams are
+             identical (or pinpoint the first divergence); --log-only
+             reconstructs the outcome from the log without re-executing
+     trace   inspect a binary log: summary, per-tag statistics, or a
+             Chrome trace-event JSON export
      table   regenerate one of the paper's tables/figures (see bench/ for
              the full harness)
      analyze run only the static elimination pass: classification,
@@ -243,6 +250,187 @@ let hunt_command =
           synchronization order to identify the source sites.")
     term
 
+let record_command =
+  let out_arg =
+    let doc = "Output file for the binary trace log." in
+    Arg.(value & opt string "run.cvmt" & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let record app_name procs scale protocol no_detect first_race_only stores_from_diffs
+      drop dup reorder partitions net_seed watchdog_ms max_retries transport out =
+    let cfg =
+      config ~protocol ~no_detect ~first_race_only ~stores_from_diffs ~oracle:false
+    in
+    let cfg =
+      net_config cfg ~drop ~dup ~reorder ~partitions ~net_seed ~watchdog_ms ~max_retries
+        ~transport
+    in
+    if Sim.Fault.active cfg.Lrc.Config.fault then
+      Format.fprintf ppf "wire faults: %s@." (Sim.Fault.describe cfg.Lrc.Config.fault);
+    let outcome, log = Core.Trace_run.record ~cfg ~app_name ~scale ~nprocs:procs () in
+    Core.Trace_run.save out log;
+    print_outcome outcome;
+    let decoded = Trace.Codec.decode log in
+    Format.fprintf ppf "trace: %d event(s), %d bytes -> %s@."
+      (Array.length decoded.Trace.Codec.events)
+      (String.length log) out
+  in
+  let record app_name procs scale protocol no_detect first_race_only stores_from_diffs
+      drop dup reorder partitions net_seed watchdog_ms max_retries transport out =
+    try
+      record app_name procs scale protocol no_detect first_race_only stores_from_diffs
+        drop dup reorder partitions net_seed watchdog_ms max_retries transport out
+    with Sim.Engine.Deadlock diagnosis ->
+      Format.fprintf ppf "DEADLOCK@.%s@." (Sim.Engine.diagnosis_to_string diagnosis);
+      exit 2
+  in
+  let term =
+    Term.(const record $ app_arg $ procs_arg $ scale_arg $ protocol_arg $ no_detect_arg
+        $ first_race_arg $ diff_stores_arg $ drop_arg $ dup_arg $ reorder_arg
+        $ partition_arg $ net_seed_arg $ watchdog_arg $ max_retries_arg $ transport_arg
+        $ out_arg)
+  in
+  Cmd.v
+    (Cmd.info "record"
+       ~doc:
+         "Run an application with the deterministic trace recorder and save the binary \
+          event log (replay it with $(b,cvm_race replay)).")
+    term
+
+let log_arg =
+  let doc = "Binary trace log produced by $(b,cvm_race record)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"LOG" ~doc)
+
+let replay_command =
+  let log_only_arg =
+    let doc =
+      "Do not re-execute: reconstruct the race set and final memory checksum from the \
+       log alone."
+    in
+    Arg.(value & flag & info [ "log-only" ] ~doc)
+  in
+  let replay log_path log_only =
+    let log = Core.Trace_run.load log_path in
+    if log_only then begin
+      let decoded = Trace.Codec.decode log in
+      let m = decoded.Trace.Codec.meta in
+      Format.fprintf ppf "== %s on %d processors (%s, from log only) ==@."
+        m.Trace.Codec.m_app m.Trace.Codec.m_nprocs m.Trace.Codec.m_protocol;
+      Core.Report.races ppf (Trace.Replay.races_of_log decoded);
+      (match Trace.Replay.checksum_of_log decoded with
+      | Some c -> Format.fprintf ppf "memory checksum: %x@." c
+      | None -> Format.fprintf ppf "memory checksum: (log has no run-end event)@.");
+      match Trace.Replay.sim_time_of_log decoded with
+      | Some ns -> Format.fprintf ppf "simulated time: %.3f ms@." (float_of_int ns /. 1e6)
+      | None -> ()
+    end
+    else begin
+      let result = Core.Trace_run.replay log in
+      let m = result.Core.Trace_run.rr_meta in
+      Format.fprintf ppf "== replaying %s on %d processors (%s, scale %s) ==@."
+        m.Trace.Codec.m_app m.Trace.Codec.m_nprocs m.Trace.Codec.m_protocol
+        m.Trace.Codec.m_scale;
+      match result.Core.Trace_run.rr_divergence with
+      | Some d ->
+          Format.fprintf ppf "%a@." Trace.Replay.pp_divergence d;
+          exit 1
+      | None ->
+          if not (Core.Trace_run.clean result) then begin
+            Format.fprintf ppf
+              "event streams identical but outcome mismatch (races %s, checksum %s)@."
+              (if result.Core.Trace_run.rr_races_match then "match" else "DIFFER")
+              (if result.Core.Trace_run.rr_checksum_match then "matches" else "DIFFERS");
+            exit 1
+          end;
+          print_outcome result.Core.Trace_run.rr_outcome;
+          Format.fprintf ppf
+            "replay verified: event streams, race set and memory checksum identical@."
+    end
+  in
+  let replay log_path log_only =
+    try replay log_path log_only with
+    | Sim.Engine.Deadlock diagnosis ->
+        Format.fprintf ppf "DEADLOCK@.%s@." (Sim.Engine.diagnosis_to_string diagnosis);
+        exit 2
+    | Trace.Codec.Corrupt msg ->
+        Format.fprintf ppf "corrupt trace log: %s@." msg;
+        exit 3
+  in
+  let term = Term.(const replay $ log_arg $ log_only_arg) in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Re-execute a recorded run and verify both event streams are identical; on a \
+          mismatch, report the first divergence and exit nonzero.")
+    term
+
+let trace_command =
+  let chrome_arg =
+    let doc = "Write a Chrome trace-event JSON file (load in chrome://tracing or Perfetto)." in
+    Arg.(value & opt (some string) None & info [ "chrome" ] ~docv:"FILE" ~doc)
+  in
+  let stats_arg =
+    let doc = "Print per-tag event counts and encoded bytes." in
+    Arg.(value & flag & info [ "stats" ] ~doc)
+  in
+  let events_arg =
+    let doc = "Print the first $(docv) decoded events." in
+    Arg.(value & opt int 0 & info [ "events" ] ~docv:"N" ~doc)
+  in
+  let trace log_path chrome stats events =
+    let log = Core.Trace_run.load log_path in
+    let decoded = Trace.Codec.decode log in
+    let m = decoded.Trace.Codec.meta in
+    Format.fprintf ppf
+      "%s: %s on %d processors, protocol %s, scale %s, seed %d, %d event(s), %d bytes@."
+      log_path m.Trace.Codec.m_app m.Trace.Codec.m_nprocs m.Trace.Codec.m_protocol
+      m.Trace.Codec.m_scale m.Trace.Codec.m_seed
+      (Array.length decoded.Trace.Codec.events)
+      (String.length log);
+    if m.Trace.Codec.m_drop > 0.0 || m.Trace.Codec.m_dup > 0.0
+       || m.Trace.Codec.m_reorder > 0.0
+       || m.Trace.Codec.m_partitions <> []
+    then
+      Format.fprintf ppf
+        "faults: drop %.1f%%, dup %.1f%%, reorder %.1f%%, %d partition window(s)@."
+        (100. *. m.Trace.Codec.m_drop)
+        (100. *. m.Trace.Codec.m_dup)
+        (100. *. m.Trace.Codec.m_reorder)
+        (List.length m.Trace.Codec.m_partitions);
+    if stats then begin
+      Format.fprintf ppf "%-16s %10s %12s@." "tag" "count" "bytes";
+      List.iter
+        (fun (s : Trace.Replay.tag_stats) ->
+          Format.fprintf ppf "%-16s %10d %12d@." s.Trace.Replay.ts_tag
+            s.Trace.Replay.ts_count s.Trace.Replay.ts_bytes)
+        (Trace.Replay.stats_of_log decoded)
+    end;
+    if events > 0 then
+      Array.iteri
+        (fun i (time, event) ->
+          if i < events then
+            Format.fprintf ppf "%8d  %10d ns  %a@." i time Trace.Event.pp event)
+        decoded.Trace.Codec.events;
+    match chrome with
+    | Some out ->
+        Core.Trace_run.save out (Trace.Chrome.export decoded);
+        Format.fprintf ppf "chrome trace -> %s@." out
+    | None -> ()
+  in
+  let trace log_path chrome stats events =
+    try trace log_path chrome stats events
+    with Trace.Codec.Corrupt msg ->
+      Format.fprintf ppf "corrupt trace log: %s@." msg;
+      exit 3
+  in
+  let term = Term.(const trace $ log_arg $ chrome_arg $ stats_arg $ events_arg) in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Inspect a binary trace log: run summary, per-tag statistics ($(b,--stats)), \
+          the first events ($(b,--events)), or a Chrome trace-event export \
+          ($(b,--chrome)).")
+    term
+
 let table_command =
   let which_arg =
     let doc = "Which experiment: table1, table2, table3, figure3, figure4, figure5, faults." in
@@ -329,4 +517,13 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_command; hunt_command; table_command; analyze_command; litmus_command ]))
+          [
+            run_command;
+            hunt_command;
+            record_command;
+            replay_command;
+            trace_command;
+            table_command;
+            analyze_command;
+            litmus_command;
+          ]))

@@ -47,18 +47,33 @@ let run ?(cost = Sim.Cost.default) ?(cfg = Lrc.Config.default) ?(watch_addrs = [
         Some watch
   in
   Lrc.Cluster.run cluster ~body:app.Apps.App.body;
+  let races = Lrc.Cluster.races cluster in
+  let mem_checksum = Lrc.Cluster.memory_checksum cluster in
+  (* terminal trace event: ties the log to the run's observable outcome,
+     so a log alone reconstructs the race count and memory checksum *)
+  (match cfg.Lrc.Config.tracer with
+  | Some sink ->
+      Trace.Sink.emit sink
+        ~time:(Lrc.Cluster.sim_time cluster)
+        (Trace.Event.Run_end
+           {
+             checksum = mem_checksum;
+             sim_time_ns = Lrc.Cluster.sim_time cluster;
+             races = List.length races;
+           })
+  | None -> ());
   {
     app_name = app.Apps.App.name;
     nprocs;
     detect = cfg.Lrc.Config.detect;
     sim_time_ns = Lrc.Cluster.sim_time cluster;
     stats = Lrc.Cluster.stats cluster;
-    races = Lrc.Cluster.races cluster;
+    races;
     trace = Lrc.Cluster.trace cluster;
     sync_trace = Lrc.Cluster.sync_trace cluster;
     watch_hits = (match watch with Some w -> Instrument.Watch.hits w | None -> []);
     symtab = Lrc.Cluster.symtab cluster;
-    mem_checksum = Lrc.Cluster.memory_checksum cluster;
+    mem_checksum;
   }
 
 type slowdown = {

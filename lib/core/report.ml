@@ -127,6 +127,22 @@ let analysis ppf ~name (r : Instrument.Static_analysis.result) =
       Format.fprintf ppf "  lint: %d warning(s)@." (List.length ws);
       List.iter (fun w -> Format.fprintf ppf "    %a@." pp_warning w) ws)
 
+(* Deterministic report order — page, then word offset, then the interval
+   pair — regardless of the order the detector produced the races in, so
+   two runs (or a run and its replay) print byte-identical reports. *)
+let race_order (a : Proto.Race.t) (b : Proto.Race.t) =
+  let pair_order (ia, _) (ib, _) = Proto.Interval.compare_ids ia ib in
+  let cmp =
+    [
+      (fun () -> compare a.Proto.Race.page b.Proto.Race.page);
+      (fun () -> compare a.Proto.Race.word b.Proto.Race.word);
+      (fun () -> pair_order a.Proto.Race.first b.Proto.Race.first);
+      (fun () -> pair_order a.Proto.Race.second b.Proto.Race.second);
+      (fun () -> Proto.Race.compare a b);
+    ]
+  in
+  List.fold_left (fun acc f -> if acc <> 0 then acc else f ()) 0 cmp
+
 let races ?symtab ppf races =
   let pp_race =
     match symtab with
@@ -136,6 +152,7 @@ let races ?symtab ppf races =
   match races with
   | [] -> Format.fprintf ppf "no data races detected@."
   | _ ->
+      let races = List.stable_sort race_order races in
       Format.fprintf ppf "%d data race(s):@." (List.length races);
       List.iter (fun race -> Format.fprintf ppf "  %a@." pp_race race) races
 

@@ -1,0 +1,146 @@
+(* Record/replay orchestration.
+
+   [record] runs an application with a trace recorder plugged into the
+   cluster and returns the outcome together with the binary log.
+   [replay] rebuilds the exact configuration from a log's metadata, runs
+   the application again with a verifier sink, and reports either a
+   clean match or the first divergence. Because the whole simulation is
+   deterministic given (app, scale, nprocs, config, seeds), a pristine
+   log must verify cleanly; any mismatch means the log was edited, the
+   code changed, or determinism broke — all three are exactly what this
+   exists to catch. *)
+
+let scale_name = function Apps.Registry.Paper -> "paper" | Apps.Registry.Small -> "small"
+
+let scale_of_name = function
+  | "paper" -> Apps.Registry.Paper
+  | "small" -> Apps.Registry.Small
+  | s -> invalid_arg (Printf.sprintf "Trace_run: unknown scale %S" s)
+
+let protocol_of_name = function
+  | "single-writer" -> Lrc.Config.Single_writer
+  | "multi-writer" -> Lrc.Config.Multi_writer
+  | "home-based" -> Lrc.Config.Home_based
+  | "sequential-consistency" -> Lrc.Config.Seq_consistent
+  | s -> invalid_arg (Printf.sprintf "Trace_run: unknown protocol %S" s)
+
+let meta_of ~app_name ~scale ~nprocs (cfg : Lrc.Config.t) : Trace.Codec.meta =
+  let fault = cfg.Lrc.Config.fault in
+  {
+    Trace.Codec.m_app = app_name;
+    m_scale = scale_name scale;
+    m_nprocs = nprocs;
+    m_protocol = Lrc.Config.protocol_name cfg.Lrc.Config.protocol;
+    m_detect = cfg.Lrc.Config.detect;
+    m_first_race_only = cfg.Lrc.Config.first_race_only;
+    m_stores_from_diffs = cfg.Lrc.Config.stores_from_diffs;
+    m_seed = cfg.Lrc.Config.seed;
+    m_net_seed = cfg.Lrc.Config.net_seed;
+    m_drop = fault.Sim.Fault.drop;
+    m_dup = fault.Sim.Fault.duplicate;
+    m_reorder = fault.Sim.Fault.reorder;
+    m_reorder_window_ns = fault.Sim.Fault.reorder_window_ns;
+    m_spike = fault.Sim.Fault.spike;
+    m_spike_ns = fault.Sim.Fault.spike_ns;
+    m_partitions =
+      List.map
+        (fun (p : Sim.Fault.partition) ->
+          (p.Sim.Fault.p_a, p.Sim.Fault.p_b, p.Sim.Fault.p_from_ns, p.Sim.Fault.p_until_ns))
+        fault.Sim.Fault.partitions;
+    m_transport = cfg.Lrc.Config.transport <> None;
+    m_max_retries =
+      Option.map (fun (tc : Sim.Transport.config) -> tc.Sim.Transport.max_retries)
+        cfg.Lrc.Config.transport;
+    m_watchdog_ns = cfg.Lrc.Config.watchdog_ns;
+  }
+
+let config_of_meta (m : Trace.Codec.meta) : Lrc.Config.t =
+  {
+    Lrc.Config.default with
+    Lrc.Config.protocol = protocol_of_name m.Trace.Codec.m_protocol;
+    detect = m.Trace.Codec.m_detect;
+    first_race_only = m.Trace.Codec.m_first_race_only;
+    stores_from_diffs = m.Trace.Codec.m_stores_from_diffs;
+    seed = m.Trace.Codec.m_seed;
+    net_seed = m.Trace.Codec.m_net_seed;
+    fault =
+      {
+        Sim.Fault.drop = m.Trace.Codec.m_drop;
+        duplicate = m.Trace.Codec.m_dup;
+        reorder = m.Trace.Codec.m_reorder;
+        reorder_window_ns = m.Trace.Codec.m_reorder_window_ns;
+        spike = m.Trace.Codec.m_spike;
+        spike_ns = m.Trace.Codec.m_spike_ns;
+        partitions =
+          List.map
+            (fun (p_a, p_b, p_from_ns, p_until_ns) ->
+              { Sim.Fault.p_a; p_b; p_from_ns; p_until_ns })
+            m.Trace.Codec.m_partitions;
+      };
+    transport =
+      (if m.Trace.Codec.m_transport then
+         Some
+           (match m.Trace.Codec.m_max_retries with
+           | Some max_retries ->
+               { Sim.Transport.default_config with Sim.Transport.max_retries }
+           | None -> Sim.Transport.default_config)
+       else None);
+    watchdog_ns = m.Trace.Codec.m_watchdog_ns;
+  }
+
+let record ?cost ?(cfg = Lrc.Config.default) ~app_name ~scale ~nprocs () =
+  let app = Apps.Registry.make ~scale app_name in
+  let meta = meta_of ~app_name ~scale ~nprocs cfg in
+  let recorder = Trace.Sink.recorder meta in
+  let cfg = { cfg with Lrc.Config.tracer = Some (Trace.Sink.sink recorder) } in
+  let outcome = Driver.run ?cost ~cfg ~app ~nprocs () in
+  (outcome, Trace.Sink.contents recorder)
+
+type replay_result = {
+  rr_meta : Trace.Codec.meta;
+  rr_outcome : Driver.outcome;
+  rr_divergence : Trace.Replay.divergence option;
+  rr_races_match : bool;  (* live race set = the log's Race events *)
+  rr_checksum_match : bool;  (* live memory checksum = the log's Run_end *)
+}
+
+let clean r = r.rr_divergence = None && r.rr_races_match && r.rr_checksum_match
+
+let replay ?cost log =
+  let decoded = Trace.Codec.decode log in
+  let m = decoded.Trace.Codec.meta in
+  let app = Apps.Registry.make ~scale:(scale_of_name m.Trace.Codec.m_scale) m.Trace.Codec.m_app in
+  let verifier = Trace.Replay.create decoded in
+  let cfg =
+    { (config_of_meta m) with Lrc.Config.tracer = Some (Trace.Replay.sink verifier) }
+  in
+  let outcome = Driver.run ?cost ~cfg ~app ~nprocs:m.Trace.Codec.m_nprocs () in
+  let divergence = Trace.Replay.finish verifier in
+  let log_races = Trace.Replay.races_of_log decoded in
+  let races_match =
+    List.length log_races = List.length outcome.Driver.races
+    && List.for_all2 Proto.Race.equal log_races
+         (Proto.Race.dedup outcome.Driver.races)
+  in
+  let checksum_match =
+    match Trace.Replay.checksum_of_log decoded with
+    | Some c -> c = outcome.Driver.mem_checksum
+    | None -> false
+  in
+  {
+    rr_meta = m;
+    rr_outcome = outcome;
+    rr_divergence = divergence;
+    rr_races_match = races_match;
+    rr_checksum_match = checksum_match;
+  }
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let save path contents =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)

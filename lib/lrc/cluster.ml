@@ -59,9 +59,50 @@ let create ?(cost = Sim.Cost.default) ?(cfg = Config.default) ~nprocs ~pages () 
     | None, true -> Some Sim.Transport.default_config
     | None, false -> None
   in
+  (* Sim-level probe: translate the engine/net/transport observer events
+     into trace events. Protocol-level events (vector clocks, intervals,
+     races) are emitted by {!Node} directly, where the context lives. *)
+  let probe =
+    match cfg.Config.tracer with
+    | None -> None
+    | Some sink ->
+        Some
+          (fun (ev : Sim.Probe.event) ->
+            let event =
+              match ev with
+              | Sim.Probe.Send { src; dst; bytes; tag } ->
+                  Trace.Event.Msg_send { src; dst; kind = tag; bytes }
+              | Sim.Probe.Deliver { src; dst; bytes; tag } ->
+                  Trace.Event.Msg_deliver { src; dst; kind = tag; bytes }
+              | Sim.Probe.Fault { src; dst; outcome } ->
+                  let outcome =
+                    match outcome with
+                    | Sim.Probe.Passed { copies; extra_delay_ns } ->
+                        Trace.Event.Passed { copies; extra_delay_ns }
+                    | Sim.Probe.Dropped -> Trace.Event.Dropped
+                    | Sim.Probe.Blackholed -> Trace.Event.Blackholed
+                  in
+                  Trace.Event.Fault { src; dst; outcome }
+              | Sim.Probe.Partition { a; b; up } -> Trace.Event.Partition { a; b; up }
+              | Sim.Probe.Retransmit { src; dst; seq } ->
+                  Trace.Event.Retransmit { src; dst; seq }
+              | Sim.Probe.Ack_tx { src; dst; cum } -> Trace.Event.Ack { src; dst; cum }
+              | Sim.Probe.Link_failure { src; dst } ->
+                  Trace.Event.Link_failure { src; dst }
+              | Sim.Probe.Proc_block { pid; label } ->
+                  Trace.Event.Proc_block { proc = pid; label }
+              | Sim.Probe.Proc_resume { pid } ->
+                  Trace.Event.Proc_resume { proc = pid }
+              | Sim.Probe.Proc_finish { pid } ->
+                  Trace.Event.Proc_finish { proc = pid }
+            in
+            Trace.Sink.emit sink ~time:(Sim.Engine.now engine) event)
+  in
+  Sim.Engine.set_probe engine probe;
   let net =
     Sim.Net.create ~rng:jitter_rng ~fault:(Sim.Fault.validate cfg.Config.fault)
-      ~fault_rng ?transport engine cost stats ~nodes:nprocs ~size_of
+      ~fault_rng ?transport ?probe ~describe:Message.describe engine cost stats
+      ~nodes:nprocs ~size_of
   in
   runtime.Node.net <- Some net;
   Array.iteri

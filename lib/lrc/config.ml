@@ -43,6 +43,9 @@ type t = {
   net_seed : int option;
       (* separate seed for the network RNGs (jitter + faults); defaults
          to [seed] so existing runs are unchanged *)
+  tracer : Trace.Sink.t option;
+      (* record/replay event sink: every sim- and protocol-level event is
+         emitted into it (recorder, replay verifier, or a tee of both) *)
 }
 
 let default =
@@ -60,6 +63,7 @@ let default =
     transport = None;
     watchdog_ns = None;
     net_seed = None;
+    tracer = None;
   }
 
 let protocol_name = function

@@ -48,6 +48,10 @@ type t = {
   net_seed : int option;
       (** separate seed for the network RNG streams (jitter and fault
           plan); [None] derives them from [seed] *)
+  tracer : Trace.Sink.t option;
+      (** record/replay event sink: every sim- and protocol-level event
+          the run produces is emitted into it — a {!Trace.Sink.recorder}
+          when recording, a {!Trace.Replay.verifier} when replaying *)
 }
 
 val default : t

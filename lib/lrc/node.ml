@@ -154,6 +154,16 @@ let emit_trace t event =
     t.rt.timed := (Sim.Engine.now t.rt.engine, t.id, event) :: !(t.rt.timed)
   end
 
+(* Record/replay sink: protocol-level events carry context (vector clocks,
+   interval ids, page lists) the sim layer's probe cannot see, so they are
+   emitted here. One branch when no tracer is configured. *)
+let emit_sink t event =
+  match t.rt.cfg.Config.tracer with
+  | Some sink -> Trace.Sink.emit sink ~time:(Sim.Engine.now t.rt.engine) event
+  | None -> ()
+
+let tracing t = t.rt.cfg.Config.tracer <> None
+
 (* Temporary debugging aid: set CVM_DEBUG_ADDR to a shared address to trace
    every event that touches its word. *)
 let debug_addr =
@@ -331,6 +341,16 @@ let close_interval t =
     t.rw_pages <- []
   end;
   t.my_closed <- interval :: t.my_closed;
+  if tracing t then
+    emit_sink t
+      (Trace.Event.Interval_close
+         {
+           proc = t.id;
+           index = (Proto.Interval.id interval).Proto.Interval.index;
+           epoch = interval.Proto.Interval.epoch;
+           write_pages = interval.Proto.Interval.write_pages;
+           read_pages = interval.Proto.Interval.read_pages;
+         });
   interval
 
 let open_interval t =
@@ -342,6 +362,8 @@ let open_interval t =
   t.cur <- interval;
   Hashtbl.replace t.log (Proto.Interval.id interval) interval;
   t.live <- interval :: t.live;
+  if tracing t then
+    emit_sink t (Trace.Event.Interval_open { proc = t.id; index; epoch = t.epoch });
   t.rt.stats.Sim.Stats.intervals_created <- t.rt.stats.Sim.Stats.intervals_created + 1;
   charge_local t t.rt.cost.Sim.Cost.interval_setup_ns
 
@@ -445,6 +467,7 @@ let install_page t page bytes =
 
 let sw_read_fault t page =
   t.rt.stats.Sim.Stats.read_faults <- t.rt.stats.Sim.Stats.read_faults + 1;
+  emit_sink t (Trace.Event.Page_fault { proc = t.id; page; kind = Proto.Race.Read });
   fault_prologue t;
   send t ~dst:0 (Message.Copy_req { page; requester = t.id });
   let reply =
@@ -462,6 +485,7 @@ let sw_read_fault t page =
 let rec sw_write_fault t page =
   let entry = t.pages.(page) in
   t.rt.stats.Sim.Stats.write_faults <- t.rt.stats.Sim.Stats.write_faults + 1;
+  emit_sink t (Trace.Event.Page_fault { proc = t.id; page; kind = Proto.Race.Write });
   if entry.owner then begin
     (* local fault from the interval-start downgrade: just record the write
        notice; no messages move. The fault handling yields the processor,
@@ -500,6 +524,7 @@ let mw_apply_pending t page =
   let pending = List.sort_uniq Proto.Interval.compare_ids entry.pending in
   if pending <> [] then begin
     t.rt.stats.Sim.Stats.read_faults <- t.rt.stats.Sim.Stats.read_faults + 1;
+    emit_sink t (Trace.Event.Page_fault { proc = t.id; page; kind = Proto.Race.Read });
     fault_prologue t;
     (* group the needed diffs by creating processor; one request each *)
     let by_proc = Hashtbl.create 4 in
@@ -509,6 +534,7 @@ let mw_apply_pending t page =
         Hashtbl.replace by_proc id.proc (id :: prev))
       pending;
     let expected = Hashtbl.length by_proc in
+    emit_sink t (Trace.Event.Diff_fetch { proc = t.id; page; count = expected });
     Hashtbl.iter
       (fun proc ids -> send t ~dst:proc (Message.Diff_req { page; ids; requester = t.id }))
       by_proc;
@@ -539,6 +565,9 @@ let mw_apply_pending t page =
     List.iter
       (fun ((did : Proto.Interval.id), diff) ->
         Mem.Diff.apply diff entry.data;
+        emit_sink t
+          (Trace.Event.Diff_apply
+             { proc = t.id; page; words = Mem.Diff.word_count diff });
         if debug_enabled then
           debug_event t ~page "apply diff p%d.%d (%d words)" did.proc did.index
             (Mem.Diff.word_count diff))
@@ -554,6 +583,7 @@ let mw_write_fault t page =
   let entry = t.pages.(page) in
   if entry.state = P_invalid then mw_apply_pending t page;
   t.rt.stats.Sim.Stats.write_faults <- t.rt.stats.Sim.Stats.write_faults + 1;
+  emit_sink t (Trace.Event.Page_fault { proc = t.id; page; kind = Proto.Race.Write });
   flush_time t;
   Sim.Engine.advance (t.rt.cost.Sim.Cost.fault_ns / 10);
   entry.twin <- Some (Mem.Page.copy entry.data);
@@ -568,6 +598,7 @@ let mw_write_fault t page =
 let hb_read_fault t page =
   let entry = t.pages.(page) in
   t.rt.stats.Sim.Stats.read_faults <- t.rt.stats.Sim.Stats.read_faults + 1;
+  emit_sink t (Trace.Event.Page_fault { proc = t.id; page; kind = Proto.Race.Read });
   fault_prologue t;
   send t ~dst:(home_of t page)
     (Message.Home_req { page; requester = t.id; needed = Proto.Vclock.copy entry.needed });
@@ -585,6 +616,7 @@ let hb_write_fault t page =
   let entry = t.pages.(page) in
   if entry.state = P_invalid then hb_read_fault t page;
   t.rt.stats.Sim.Stats.write_faults <- t.rt.stats.Sim.Stats.write_faults + 1;
+  emit_sink t (Trace.Event.Page_fault { proc = t.id; page; kind = Proto.Race.Write });
   flush_time t;
   Sim.Engine.advance (t.rt.cost.Sim.Cost.fault_ns / 10);
   entry.twin <- Some (Mem.Page.copy entry.data);
@@ -780,7 +812,11 @@ let lock t lock_id =
       l.expecting <- false;
       l.pending_seq <- None;
       l.held <- true;
-      emit_trace t (Racedetect.Oracle.Acquire lock_id)
+      emit_trace t (Racedetect.Oracle.Acquire lock_id);
+      if tracing t then
+        emit_sink t
+          (Trace.Event.Lock_acquire
+             { proc = t.id; lock = lock_id; vc = Proto.Vclock.copy t.vc })
   | _ -> assert false
 
 let unlock t lock_id =
@@ -792,6 +828,10 @@ let unlock t lock_id =
   open_interval t;
   l.held <- false;
   emit_trace t (Racedetect.Oracle.Release lock_id);
+  if tracing t then
+    emit_sink t
+      (Trace.Event.Lock_release
+         { proc = t.id; lock = lock_id; vc = Proto.Vclock.copy t.vc });
   match l.next_request with
   | Some (requester, requester_vc) ->
       l.next_request <- None;
@@ -914,6 +954,7 @@ let master_finish_barrier t ~delay ~races =
     end
   in
   t.rt.races := races @ !(t.rt.races);
+  if tracing t then List.iter (fun r -> emit_sink t (Trace.Event.Race r)) races;
   t.rt.stats.Sim.Stats.races_reported <- t.rt.stats.Sim.Stats.races_reported + List.length races;
   t.rt.stats.Sim.Stats.barriers <- t.rt.stats.Sim.Stats.barriers + 1;
   List.iter
@@ -937,7 +978,14 @@ let master_run_detection t =
   in
   let before = stats.Sim.Stats.interval_comparisons in
   let pairs = Racedetect.Detector.concurrent_pairs ~stats epoch_intervals in
-  let entries = Racedetect.Detector.check_list ~stats pairs in
+  let probe =
+    if tracing t then
+      Some
+        (fun (e : Racedetect.Checklist.entry) ->
+          emit_sink t (Trace.Event.Check_entry { a = e.a; b = e.b; pages = e.pages }))
+    else None
+  in
+  let entries = Racedetect.Detector.check_list ~stats ?probe pairs in
   let comparisons = stats.Sim.Stats.interval_comparisons - before in
   let intervals_ns =
     (cost.Sim.Cost.vv_compare_ns *. float_of_int comparisons)
@@ -1024,6 +1072,8 @@ let master_on_bitmap_reply t ~bitmaps =
 
 let barrier t =
   flush_time t;
+  let entered_epoch = t.epoch in
+  emit_sink t (Trace.Event.Barrier_enter { proc = t.id; epoch = entered_epoch });
   let _ = close_interval t in
   emit_trace t Racedetect.Oracle.Barrier;
   let intervals = List.rev t.my_closed in
@@ -1043,6 +1093,10 @@ let barrier t =
       Proto.Vclock.merge_into ~dst:t.vc master_vc;
       t.epoch <- t.epoch + 1;
       open_interval t;
+      if tracing t then
+        emit_sink t
+          (Trace.Event.Barrier_leave
+             { proc = t.id; epoch = entered_epoch; vc = Proto.Vclock.copy t.vc });
       Hashtbl.reset t.bitmap_store;
       t.live <- List.filter (fun iv -> iv.Proto.Interval.epoch >= t.epoch - 1) t.live
   | _ -> assert false
@@ -1117,7 +1171,12 @@ let home_serve t home page requester =
 
 let on_diff_flush t ~page ~diffs ~vc =
   let home = home_state t page in
-  List.iter (fun (_, diff) -> Mem.Diff.apply diff home.home_data) diffs;
+  List.iter
+    (fun (_, diff) ->
+      Mem.Diff.apply diff home.home_data;
+      emit_sink t
+        (Trace.Event.Diff_apply { proc = t.id; page; words = Mem.Diff.word_count diff }))
+    diffs;
   Proto.Vclock.merge_into ~dst:home.home_version vc;
   (* a newly covered version may satisfy parked fetches *)
   let ready, still_waiting =

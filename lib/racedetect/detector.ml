@@ -56,7 +56,7 @@ let overlapping_pages_linear ~npages a b =
   Mem.Bitmap.union_into ~dst:overlap (Mem.Bitmap.inter read_b write_a);
   Mem.Bitmap.set_indices overlap
 
-let check_list ?stats pairs =
+let check_list ?stats ?probe pairs =
   let entries =
     List.filter_map
       (fun (a, b) ->
@@ -66,6 +66,9 @@ let check_list ?stats pairs =
             Some { Checklist.a = Proto.Interval.id a; b = Proto.Interval.id b; pages })
       pairs
   in
+  (match probe with
+  | Some f -> List.iter f entries
+  | None -> ());
   (match stats with
   | Some s ->
       s.Sim.Stats.concurrent_pairs <- s.Sim.Stats.concurrent_pairs + List.length pairs;

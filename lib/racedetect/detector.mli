@@ -24,10 +24,12 @@ val overlapping_pages_linear :
 
 val check_list :
   ?stats:Sim.Stats.t ->
+  ?probe:(Checklist.entry -> unit) ->
   (Proto.Interval.t * Proto.Interval.t) list ->
   Checklist.entry list
 (** Step 3: winnow concurrent pairs to those whose page lists overlap
-    (write-write, or read in one and written in the other). *)
+    (write-write, or read in one and written in the other). [probe]
+    observes every retained entry (the trace recorder's hook). *)
 
 val races_of_entry :
   ?stats:Sim.Stats.t ->

@@ -40,6 +40,7 @@ type t = {
   mutable diagnostics : (unit -> string list) list;  (* subsystem reporters *)
   mutable stall_budget : int option;  (* max virtual ns without progress *)
   mutable last_progress : int;  (* last time a process ran or finished *)
+  mutable probe : Probe.t option;  (* pure observer of scheduling decisions *)
 }
 
 type diagnosis = {
@@ -75,9 +76,14 @@ let create () =
     diagnostics = [];
     stall_budget = None;
     last_progress = 0;
+    probe = None;
   }
 
 let now t = t.now
+
+let set_probe t probe = t.probe <- probe
+
+let emit_probe t event = match t.probe with Some f -> f event | None -> ()
 
 let add_diagnostic t f = t.diagnostics <- t.diagnostics @ [ f ]
 
@@ -131,6 +137,7 @@ let wake t pid =
   match proc.state with
   | Blocked ->
       proc.state <- Running;
+      emit_probe t (Probe.Proc_resume { pid });
       Pqueue.push t.queue ~time:t.now (Resume proc)
   | Created | Running -> proc.wake_pending <- true
   | Finished -> ()
@@ -145,7 +152,8 @@ let run_fiber t proc body =
       retc =
         (fun () ->
           proc.state <- Finished;
-          t.live <- t.live - 1);
+          t.live <- t.live - 1;
+          emit_probe t (Probe.Proc_finish { pid = proc.pid }));
       exnc = (fun exn -> raise exn);
       effc =
         (fun (type a) (eff : a Effect.t) ->
@@ -165,7 +173,8 @@ let run_fiber t proc body =
                   else begin
                     proc.state <- Blocked;
                     proc.blocked_label <- label;
-                    proc.cont <- Some k
+                    proc.cont <- Some k;
+                    emit_probe t (Probe.Proc_block { pid = proc.pid; label })
                   end)
           | _ -> None);
     }

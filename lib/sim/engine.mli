@@ -60,6 +60,12 @@ val block : label:string -> unit
 val wake : t -> pid -> unit
 (** Make a blocked process runnable at the current simulated time. *)
 
+val set_probe : t -> Probe.t option -> unit
+(** Install (or clear) the scheduling probe: it observes process blocks,
+    wakes and finishes at the simulated moment they happen. The probe
+    must not mutate simulation state; with no probe installed the hook
+    costs one branch. *)
+
 val add_diagnostic : t -> (unit -> string list) -> unit
 (** Register a subsystem reporter whose lines are included in every
     [Deadlock] diagnosis (e.g. the transport's per-link unacked queues,

@@ -73,13 +73,22 @@ let partitioned t ~src ~dst ~now =
       && now >= p.p_from_ns && now < p.p_until_ns)
     t.plan.partitions
 
-(* The verdict for one wire frame: a list of extra delivery delays, one
-   per surviving copy. [] means the frame was lost. Draw order is fixed
-   (drop, duplicate, then per-copy reorder/spike) so a given link stream
-   yields the same schedule independent of traffic on other links. *)
-let judge t ~src ~dst ~now =
-  if not (active t.plan) then [ 0 ]
-  else if partitioned t ~src ~dst ~now then []
+(* The verdict for one wire frame: the extra delivery delays of the
+   surviving copies ([] means the frame was lost) plus what happened to
+   it, so an observer (the trace recorder) can tell a random drop from a
+   partition black-hole from a clean pass. Draw order is fixed (drop,
+   duplicate, then per-copy reorder/spike) so a given link stream yields
+   the same schedule independent of traffic on other links. *)
+type verdict = {
+  v_delays : int list;  (* extra delay per surviving copy *)
+  v_dropped : bool;  (* lost one copy to the drop probability *)
+  v_partitioned : bool;  (* black-holed by a partition window *)
+}
+
+let judge_verdict t ~src ~dst ~now =
+  if not (active t.plan) then { v_delays = [ 0 ]; v_dropped = false; v_partitioned = false }
+  else if partitioned t ~src ~dst ~now then
+    { v_delays = []; v_dropped = false; v_partitioned = true }
   else begin
     let rng = t.links.((src * t.nodes) + dst) in
     let dropped = t.plan.drop > 0.0 && Rng.float rng 1.0 < t.plan.drop in
@@ -99,9 +108,16 @@ let judge t ~src ~dst ~now =
       held + spiked
     in
     let delays = List.init copies (fun _ -> extra_delay ()) in
-    if dropped then (match delays with [] | [ _ ] -> [] | _ :: rest -> rest)
-    else delays
+    let survivors =
+      if dropped then (match delays with [] | [ _ ] -> [] | _ :: rest -> rest)
+      else delays
+    in
+    { v_delays = survivors; v_dropped = dropped; v_partitioned = false }
   end
+
+let judge t ~src ~dst ~now = (judge_verdict t ~src ~dst ~now).v_delays
+
+let windows t = t.plan.partitions
 
 let describe plan =
   if not (active plan) then "none"

@@ -46,5 +46,23 @@ val judge : t -> src:int -> dst:int -> now:int -> int list
     [[]] means the frame was lost (dropped or partitioned); two entries
     mean fault injection duplicated it. *)
 
+type verdict = {
+  v_delays : int list;  (** what {!judge} returns *)
+  v_dropped : bool;  (** one copy was lost to the drop probability *)
+  v_partitioned : bool;  (** black-holed by a partition window *)
+}
+
+val judge_verdict : t -> src:int -> dst:int -> now:int -> verdict
+(** Like {!judge}, but annotated with what happened, so an observer (the
+    trace recorder) can tell a random drop from a partition black-hole.
+    Draws exactly the same RNG values as {!judge}. *)
+
+val partitioned : t -> src:int -> dst:int -> now:int -> bool
+(** Is the link inside one of its scheduled partition windows at [now]? *)
+
+val windows : t -> partition list
+(** The plan's scheduled partition windows (for partition open/close
+    observation). *)
+
 val describe : plan -> string
 (** Human-readable one-line summary ("drop 20%, dup 5%, ..."). *)

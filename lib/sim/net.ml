@@ -35,14 +35,38 @@ type 'msg t = {
   stats : Stats.t;
   nodes : 'msg node array;
   size_of : 'msg -> int;
+  describe : 'msg -> string;  (* payload tag for the probe's send/deliver events *)
   rng : Rng.t;  (* jitter stream — independent from the fault streams *)
   last_delivery : int array;  (* per (src, dst) link: preserve FIFO under jitter *)
   in_flight : int array;  (* per link: wire frames scheduled, not yet delivered *)
   fault : Fault.t option;
+  probe : Probe.t option;  (* pure observer; never perturbs delivery *)
+  partition_down : bool array;  (* last observed phase of each partition window *)
   mutable transport : 'msg Transport.t option;
 }
 
 let node_count t = Array.length t.nodes
+
+let emit_probe t event = match t.probe with Some f -> f event | None -> ()
+
+(* Partition windows have no event of their own on the wire; report each
+   open/close transition at the first wire activity that observes it.
+   Lazy observation keeps the event queue identical with and without a
+   probe installed. *)
+let note_partitions t =
+  match (t.fault, t.probe) with
+  | Some fault, Some _ ->
+      let now = Engine.now t.engine in
+      List.iteri
+        (fun i (p : Fault.partition) ->
+          let down = now >= p.Fault.p_from_ns && now < p.Fault.p_until_ns in
+          if down <> t.partition_down.(i) then begin
+            t.partition_down.(i) <- down;
+            emit_probe t
+              (Probe.Partition { a = p.Fault.p_a; b = p.Fault.p_b; up = not down })
+          end)
+        (Fault.windows fault)
+  | _ -> ()
 
 let set_handler t ~node f = t.nodes.(node).handler <- Some f
 
@@ -73,11 +97,14 @@ let deliver_ordered t ~src ~dst ~delay msg =
   let node = t.nodes.(dst) in
   Engine.schedule t.engine ~at (fun () ->
       t.in_flight.(link) <- t.in_flight.(link) - 1;
+      emit_probe t
+        (Probe.Deliver { src; dst; bytes = t.size_of msg; tag = t.describe msg });
       deliver t node msg)
 
 let send t ~src ~dst msg =
   if dst < 0 || dst >= Array.length t.nodes then invalid_arg "Net.send: bad destination";
   let bytes = t.size_of msg in
+  emit_probe t (Probe.Send { src; dst; bytes; tag = t.describe msg });
   t.stats.Stats.messages <- t.stats.Stats.messages + 1;
   if src = dst then begin
     (* loopback: protocol stack only — no wire, no faults, no transport *)
@@ -93,8 +120,8 @@ let send t ~src ~dst msg =
         t.stats.Stats.bytes <- t.stats.Stats.bytes + Cost.wire_bytes t.cost ~bytes;
         deliver_ordered t ~src ~dst ~delay:(base_delay t ~bytes) msg
 
-let create ?(rng = Rng.create ~seed:0) ?(fault = Fault.none) ?fault_rng ?transport engine
-    cost stats ~nodes ~size_of =
+let create ?(rng = Rng.create ~seed:0) ?(fault = Fault.none) ?fault_rng ?transport ?probe
+    ?(describe = fun _ -> "msg") engine cost stats ~nodes ~size_of =
   if Fault.active fault && transport = None then
     invalid_arg "Net.create: an active fault plan requires the reliable transport";
   let t =
@@ -103,6 +130,7 @@ let create ?(rng = Rng.create ~seed:0) ?(fault = Fault.none) ?fault_rng ?transpo
       cost;
       stats;
       size_of;
+      describe;
       rng;
       last_delivery = Array.make (nodes * nodes) 0;
       in_flight = Array.make (nodes * nodes) 0;
@@ -113,6 +141,8 @@ let create ?(rng = Rng.create ~seed:0) ?(fault = Fault.none) ?fault_rng ?transpo
              match fault_rng with Some r -> r | None -> Rng.create ~seed:1
            in
            Some (Fault.create ~nodes ~rng:frng fault));
+      probe;
+      partition_down = Array.make (List.length fault.Fault.partitions) false;
       transport = None;
       nodes = Array.init nodes (fun id -> { id; inbox = Queue.create (); handler = None; waiter = None });
     }
@@ -127,11 +157,31 @@ let create ?(rng = Rng.create ~seed:0) ?(fault = Fault.none) ?fault_rng ?transpo
         let bytes = Transport.frame_bytes cfg ~payload_bytes frame in
         stats.Stats.fragments <- stats.Stats.fragments + Cost.fragments cost ~bytes;
         stats.Stats.bytes <- stats.Stats.bytes + Cost.wire_bytes cost ~bytes;
-        let verdicts =
+        note_partitions t;
+        let verdict =
           match t.fault with
-          | Some fault -> Fault.judge fault ~src ~dst ~now:(Engine.now engine)
-          | None -> [ 0 ]
+          | Some fault -> Fault.judge_verdict fault ~src ~dst ~now:(Engine.now engine)
+          | None -> { Fault.v_delays = [ 0 ]; v_dropped = false; v_partitioned = false }
         in
+        let verdicts = verdict.Fault.v_delays in
+        (* report only frames the plan actually touched *)
+        (if verdict.Fault.v_partitioned then
+           emit_probe t (Probe.Fault { src; dst; outcome = Probe.Blackholed })
+         else if verdict.Fault.v_dropped && verdicts = [] then
+           emit_probe t (Probe.Fault { src; dst; outcome = Probe.Dropped })
+         else
+           match verdicts with
+           | first :: rest when first > 0 || rest <> [] || verdict.Fault.v_dropped ->
+               emit_probe t
+                 (Probe.Fault
+                    {
+                      src;
+                      dst;
+                      outcome =
+                        Probe.Passed
+                          { copies = List.length verdicts; extra_delay_ns = first };
+                    })
+           | _ -> ());
         (match verdicts with
         | [] -> stats.Stats.frames_dropped <- stats.Stats.frames_dropped + 1
         | _ :: extra_copies ->
@@ -149,9 +199,13 @@ let create ?(rng = Rng.create ~seed:0) ?(fault = Fault.none) ?fault_rng ?transpo
                 | None -> ()))
           verdicts
       in
-      let deliver_up ~src:_ ~dst payload = deliver t t.nodes.(dst) payload in
+      let deliver_up ~src ~dst payload =
+        emit_probe t
+          (Probe.Deliver { src; dst; bytes = t.size_of payload; tag = t.describe payload });
+        deliver t t.nodes.(dst) payload
+      in
       t.transport <-
-        Some (Transport.create cfg engine stats ~nodes ~wire_send ~deliver:deliver_up));
+        Some (Transport.create ?probe cfg engine stats ~nodes ~wire_send ~deliver:deliver_up));
   t
 
 (* Blocking receive for nodes that drain their inbox from application code

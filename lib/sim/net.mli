@@ -19,6 +19,8 @@ val create :
   ?fault:Fault.plan ->
   ?fault_rng:Rng.t ->
   ?transport:Transport.config ->
+  ?probe:Probe.t ->
+  ?describe:('msg -> string) ->
   Engine.t ->
   Cost.t ->
   Stats.t ->
@@ -31,7 +33,12 @@ val create :
     [fault_rng], which seeds the fault plan's per-link streams — enabling
     fault injection does not perturb the jitter draws. An active [fault]
     plan requires [transport] (raises [Invalid_argument] otherwise);
-    [transport] alone runs the reliable transport over a fault-free wire. *)
+    [transport] alone runs the reliable transport over a fault-free wire.
+
+    [probe] observes sends, deliveries and per-frame fault outcomes (and
+    is forwarded to the transport for retransmit/ack events); [describe]
+    supplies the payload tag those events carry. Probes never perturb
+    delivery order or timing. *)
 
 val node_count : 'msg t -> int
 

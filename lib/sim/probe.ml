@@ -1,0 +1,36 @@
+(* Simulation-level observation hook. A probe is a callback the record/
+   replay machinery (lib/trace) installs on the engine, the network and
+   the transport; it fires synchronously at the simulated moment each
+   decision is taken. Probes are pure observers: they must not mutate
+   simulation state, so an instrumented run takes exactly the same
+   decisions as an uninstrumented one and recording is zero-cost when no
+   probe is installed. *)
+
+type fault_outcome =
+  | Passed of { copies : int; extra_delay_ns : int }
+      (* delivered; [copies > 1] means the wire duplicated the frame and
+         [extra_delay_ns > 0] means the first copy was held back (reorder)
+         or spiked *)
+  | Dropped  (* lost to the random drop probability *)
+  | Blackholed  (* lost to a scheduled partition window *)
+
+type event =
+  (* network (payload level, above the transport) *)
+  | Send of { src : int; dst : int; bytes : int; tag : string }
+  | Deliver of { src : int; dst : int; bytes : int; tag : string }
+  (* wire (below the transport): one event per frame the fault plan
+     touched; untouched frames are not reported *)
+  | Fault of { src : int; dst : int; outcome : fault_outcome }
+  | Partition of { a : int; b : int; up : bool }
+      (* a partition window opened ([up = false]: link down) or closed,
+         observed at the first wire activity after the transition *)
+  (* transport *)
+  | Retransmit of { src : int; dst : int; seq : int }
+  | Ack_tx of { src : int; dst : int; cum : int }
+  | Link_failure of { src : int; dst : int }
+  (* scheduler *)
+  | Proc_block of { pid : int; label : string }
+  | Proc_resume of { pid : int }
+  | Proc_finish of { pid : int }
+
+type t = event -> unit

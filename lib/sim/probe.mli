@@ -1,0 +1,33 @@
+(** Simulation-level observation hook.
+
+    A probe is a callback installed on the engine, the network and the
+    transport by the record/replay machinery; it fires synchronously at
+    the simulated moment each decision is taken. Probes must be pure
+    observers — they must not mutate simulation state — so an
+    instrumented run takes exactly the same decisions as an
+    uninstrumented one. *)
+
+type fault_outcome =
+  | Passed of { copies : int; extra_delay_ns : int }
+      (** delivered; [copies > 1] means the wire duplicated the frame,
+          [extra_delay_ns > 0] means the first copy was held back *)
+  | Dropped  (** lost to the random drop probability *)
+  | Blackholed  (** lost to a scheduled partition window *)
+
+type event =
+  | Send of { src : int; dst : int; bytes : int; tag : string }
+  | Deliver of { src : int; dst : int; bytes : int; tag : string }
+  | Fault of { src : int; dst : int; outcome : fault_outcome }
+      (** one event per wire frame the fault plan touched; untouched
+          frames are not reported *)
+  | Partition of { a : int; b : int; up : bool }
+      (** a partition window opened ([up = false]) or closed, observed at
+          the first wire activity after the transition *)
+  | Retransmit of { src : int; dst : int; seq : int }
+  | Ack_tx of { src : int; dst : int; cum : int }
+  | Link_failure of { src : int; dst : int }
+  | Proc_block of { pid : int; label : string }
+  | Proc_resume of { pid : int }
+  | Proc_finish of { pid : int }
+
+type t = event -> unit

@@ -54,9 +54,10 @@ type 'a t = {
   receivers : 'a receiver array;
   wire_send : src:int -> dst:int -> 'a frame -> unit;
   deliver : src:int -> dst:int -> 'a -> unit;
+  probe : Probe.t option;  (* retransmit/ack/link-failure observer *)
 }
 
-let create cfg engine stats ~nodes ~wire_send ~deliver =
+let create ?probe cfg engine stats ~nodes ~wire_send ~deliver =
   if cfg.initial_rto_ns <= 0 || cfg.max_rto_ns < cfg.initial_rto_ns then
     invalid_arg "Transport: need 0 < initial_rto_ns <= max_rto_ns";
   if cfg.max_retries < 0 then invalid_arg "Transport: negative retry cap";
@@ -79,7 +80,10 @@ let create cfg engine stats ~nodes ~wire_send ~deliver =
       Array.init (nodes * nodes) (fun _ -> { expected = 0; parked = Hashtbl.create 8 });
     wire_send;
     deliver;
+    probe;
   }
+
+let emit_probe t event = match t.probe with Some f -> f event | None -> ()
 
 let link t ~src ~dst = (src * t.nodes) + dst
 
@@ -103,11 +107,13 @@ and on_timeout t ~src ~dst s =
     (* give the link up; the stranded frames surface in the watchdog's
        diagnosis instead of being retried forever *)
     s.failed <- true;
-    t.stats.Stats.link_failures <- t.stats.Stats.link_failures + 1
+    t.stats.Stats.link_failures <- t.stats.Stats.link_failures + 1;
+    emit_probe t (Probe.Link_failure { src; dst })
   end
   else begin
     let seq, payload = Queue.peek s.unacked in
     t.stats.Stats.retransmits <- t.stats.Stats.retransmits + 1;
+    emit_probe t (Probe.Retransmit { src; dst; seq });
     t.wire_send ~src ~dst (Data { seq; payload });
     s.rto <- min (2 * s.rto) t.cfg.max_rto_ns;
     arm_timer t ~src ~dst s
@@ -160,6 +166,7 @@ let on_data t ~src ~dst ~seq payload =
   (* every data frame earns a cumulative ack; a lost ack is repaired by
      the next one (or by the retransmission it provokes) *)
   t.stats.Stats.acks_sent <- t.stats.Stats.acks_sent + 1;
+  emit_probe t (Probe.Ack_tx { src = dst; dst = src; cum = r.expected - 1 });
   t.wire_send ~src:dst ~dst:src (Ack { cum = r.expected - 1 })
 
 let wire_receive t ~src ~dst frame =

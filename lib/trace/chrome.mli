@@ -1,0 +1,9 @@
+(** Chrome trace-event export.
+
+    Renders a decoded log as the JSON array chrome://tracing and Perfetto
+    load: one track per processor (blocked stretches as slices, protocol
+    activity as instants) and one per directed link that carried traffic
+    (sends, deliveries, fault outcomes, retransmissions). *)
+
+val export : Codec.decoded -> string
+(** The complete JSON document. *)

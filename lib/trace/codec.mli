@@ -1,0 +1,60 @@
+(** Binary trace-log codec.
+
+    Layout: magic ["CVMT"], a format-version byte, the run metadata, then
+    one record per event — tag byte, zigzag-LEB128 time delta, fields.
+    The metadata makes a log self-contained: [replay] rebuilds the exact
+    cluster configuration from it. *)
+
+val magic : string
+val version : int
+
+type meta = {
+  m_app : string;
+  m_scale : string;  (** "paper" or "small" *)
+  m_nprocs : int;
+  m_protocol : string;  (** {!Lrc.Config.protocol_name} *)
+  m_detect : bool;
+  m_first_race_only : bool;
+  m_stores_from_diffs : bool;
+  m_seed : int;
+  m_net_seed : int option;
+  m_drop : float;
+  m_dup : float;
+  m_reorder : float;
+  m_reorder_window_ns : int;
+  m_spike : float;
+  m_spike_ns : int;
+  m_partitions : (int * int * int * int) list;  (** a, b, from_ns, until_ns *)
+  m_transport : bool;
+  m_max_retries : int option;
+  m_watchdog_ns : int option;
+}
+
+exception Corrupt of string
+(** Raised by {!decode} on a malformed log. *)
+
+type encoder
+
+val encoder : meta -> encoder
+(** Fresh encoder with the header and metadata already written. *)
+
+val add : encoder -> time:int -> Event.t -> unit
+(** Append one event. [time] is absolute simulated nanoseconds and must
+    be monotone non-decreasing across calls (deltas are what's stored;
+    a regression still round-trips, it just costs zigzag bytes). *)
+
+val count : encoder -> int
+val contents : encoder -> string
+
+val encode : meta -> (int * Event.t) array -> string
+(** One-shot encoding of a (time, event) stream. *)
+
+type decoded = { meta : meta; events : (int * Event.t) array }
+
+val decode : string -> decoded
+(** Parse a complete log. Raises {!Corrupt} on bad magic, an unsupported
+    version, or a truncated/garbled record. *)
+
+val event_bytes : Event.t -> int
+(** Encoded size of one event record, excluding the time delta — used by
+    [trace --stats]. *)

@@ -13,9 +13,14 @@ test:
 # The tier-1 gate: build, tests, the static-analysis report
 # (classification, batching, lint) over every application, a
 # lossy-network smoke test (20% drop must reproduce the clean run's
-# races and survive retransmission), and a record->replay smoke test
+# races and survive retransmission), a record->replay smoke test
 # (a lossy run's trace log must verify cleanly on re-execution, with
-# the identical race set and memory checksum).
+# the identical race set and memory checksum), and the benchmark
+# regression gate: a CI-sized sweep whose deterministic outcomes
+# (races, checksums, simulated time, wire bytes) must match the
+# checked-in baseline exactly. The wall-clock threshold is loose (50%)
+# because the gate runs on heterogeneous machines; bench/compare.exe's
+# default 15% is for like-for-like comparisons (see docs/BENCH.md).
 check:
 	dune build
 	dune runtest
@@ -24,6 +29,8 @@ check:
 	dune exec bin/cvm_race.exe -- record sor --scale small -p 4 --drop 0.2 -o _build/sor.cvmt
 	dune exec bin/cvm_race.exe -- replay _build/sor.cvmt
 	dune exec bin/cvm_race.exe -- replay --log-only _build/sor.cvmt
+	dune exec bench/main.exe -- --small sweep --json _build/bench_ci.json
+	dune exec bench/compare.exe -- bench/baseline_small.json _build/bench_ci.json --threshold 50
 
 # The full drop-rate sweep over every application (slow; paper scale).
 faults:

@@ -1,0 +1,306 @@
+(* A minimal JSON reader/writer for the benchmark pipeline.
+
+   The toolchain this repo builds against has no JSON library baked in, and
+   the pipeline's needs are narrow: emit benchmark entries from
+   [bench/main.exe], read two such files back in [bench/compare.exe], and
+   read golden equivalence records in the test suite. So this module
+   implements exactly RFC 8259's value grammar (objects, arrays, strings,
+   numbers, booleans, null) with no streaming, no options, and a parser
+   that reports line/column on failure.
+
+   Numbers parse as [Float] unless they are exact integers in range, so a
+   checksum written as an int round-trips as an int. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* Printing *)
+
+let escape_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let float_literal f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.17g" f
+
+(* Two-space indentation, keys in insertion order: the emitted files are
+   checked in, so the layout must be stable under regeneration. *)
+let rec emit buf ~indent v =
+  let pad n = String.make (2 * n) ' ' in
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_literal f)
+  | String s -> escape_string buf s
+  | List [] -> Buffer.add_string buf "[]"
+  | List items ->
+      Buffer.add_string buf "[\n";
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          Buffer.add_string buf (pad (indent + 1));
+          emit buf ~indent:(indent + 1) item)
+        items;
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (pad indent);
+      Buffer.add_char buf ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj fields ->
+      Buffer.add_string buf "{\n";
+      List.iteri
+        (fun i (key, value) ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          Buffer.add_string buf (pad (indent + 1));
+          escape_string buf key;
+          Buffer.add_string buf ": ";
+          emit buf ~indent:(indent + 1) value)
+        fields;
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (pad indent);
+      Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 4096 in
+  emit buf ~indent:0 v;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let to_file path v =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string v))
+
+(* ------------------------------------------------------------------ *)
+(* Parsing *)
+
+exception Parse_error of string
+
+type cursor = { src : string; mutable pos : int }
+
+let error cur msg =
+  let line = ref 1 and col = ref 1 in
+  for i = 0 to min cur.pos (String.length cur.src) - 1 do
+    if cur.src.[i] = '\n' then begin
+      incr line;
+      col := 1
+    end
+    else incr col
+  done;
+  raise (Parse_error (Printf.sprintf "line %d, column %d: %s" !line !col msg))
+
+let peek cur = if cur.pos < String.length cur.src then Some cur.src.[cur.pos] else None
+
+let advance cur = cur.pos <- cur.pos + 1
+
+let skip_ws cur =
+  while
+    match peek cur with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance cur;
+        true
+    | _ -> false
+  do
+    ()
+  done
+
+let expect cur c =
+  match peek cur with
+  | Some got when got = c -> advance cur
+  | Some got -> error cur (Printf.sprintf "expected %C, found %C" c got)
+  | None -> error cur (Printf.sprintf "expected %C, found end of input" c)
+
+let expect_keyword cur word value =
+  let n = String.length word in
+  if cur.pos + n <= String.length cur.src && String.sub cur.src cur.pos n = word then begin
+    cur.pos <- cur.pos + n;
+    value
+  end
+  else error cur (Printf.sprintf "expected %s" word)
+
+let parse_string_body cur =
+  expect cur '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek cur with
+    | None -> error cur "unterminated string"
+    | Some '"' -> advance cur
+    | Some '\\' -> (
+        advance cur;
+        match peek cur with
+        | Some '"' -> advance cur; Buffer.add_char buf '"'; go ()
+        | Some '\\' -> advance cur; Buffer.add_char buf '\\'; go ()
+        | Some '/' -> advance cur; Buffer.add_char buf '/'; go ()
+        | Some 'n' -> advance cur; Buffer.add_char buf '\n'; go ()
+        | Some 'r' -> advance cur; Buffer.add_char buf '\r'; go ()
+        | Some 't' -> advance cur; Buffer.add_char buf '\t'; go ()
+        | Some 'b' -> advance cur; Buffer.add_char buf '\b'; go ()
+        | Some 'f' -> advance cur; Buffer.add_char buf '\012'; go ()
+        | Some 'u' ->
+            advance cur;
+            if cur.pos + 4 > String.length cur.src then error cur "truncated \\u escape";
+            let hex = String.sub cur.src cur.pos 4 in
+            let code =
+              try int_of_string ("0x" ^ hex) with _ -> error cur "bad \\u escape"
+            in
+            cur.pos <- cur.pos + 4;
+            (* the writer only emits \u for control characters; decode the
+               BMP code point as UTF-8 so parse(print(v)) = v holds *)
+            if code < 0x80 then Buffer.add_char buf (Char.chr code)
+            else if code < 0x800 then begin
+              Buffer.add_char buf (Char.chr (0xc0 lor (code lsr 6)));
+              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+            end
+            else begin
+              Buffer.add_char buf (Char.chr (0xe0 lor (code lsr 12)));
+              Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3f)));
+              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+            end;
+            go ()
+        | _ -> error cur "bad escape")
+    | Some c ->
+        advance cur;
+        Buffer.add_char buf c;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number cur =
+  let start = cur.pos in
+  let is_number_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while (match peek cur with Some c -> is_number_char c | None -> false) do
+    advance cur
+  done;
+  let text = String.sub cur.src start (cur.pos - start) in
+  match int_of_string_opt text with
+  | Some i -> Int i
+  | None -> (
+      match float_of_string_opt text with
+      | Some f -> Float f
+      | None -> error cur (Printf.sprintf "bad number %S" text))
+
+let rec parse_value cur =
+  skip_ws cur;
+  match peek cur with
+  | None -> error cur "unexpected end of input"
+  | Some '{' ->
+      advance cur;
+      skip_ws cur;
+      if peek cur = Some '}' then begin
+        advance cur;
+        Obj []
+      end
+      else begin
+        let fields = ref [] in
+        let rec fields_loop () =
+          skip_ws cur;
+          let key = parse_string_body cur in
+          skip_ws cur;
+          expect cur ':';
+          let value = parse_value cur in
+          fields := (key, value) :: !fields;
+          skip_ws cur;
+          match peek cur with
+          | Some ',' ->
+              advance cur;
+              fields_loop ()
+          | Some '}' -> advance cur
+          | _ -> error cur "expected ',' or '}' in object"
+        in
+        fields_loop ();
+        Obj (List.rev !fields)
+      end
+  | Some '[' ->
+      advance cur;
+      skip_ws cur;
+      if peek cur = Some ']' then begin
+        advance cur;
+        List []
+      end
+      else begin
+        let items = ref [] in
+        let rec items_loop () =
+          let value = parse_value cur in
+          items := value :: !items;
+          skip_ws cur;
+          match peek cur with
+          | Some ',' ->
+              advance cur;
+              items_loop ()
+          | Some ']' -> advance cur
+          | _ -> error cur "expected ',' or ']' in array"
+        in
+        items_loop ();
+        List (List.rev !items)
+      end
+  | Some '"' -> String (parse_string_body cur)
+  | Some 't' -> expect_keyword cur "true" (Bool true)
+  | Some 'f' -> expect_keyword cur "false" (Bool false)
+  | Some 'n' -> expect_keyword cur "null" Null
+  | Some _ -> parse_number cur
+
+let of_string src =
+  let cur = { src; pos = 0 } in
+  let v = parse_value cur in
+  skip_ws cur;
+  (match peek cur with None -> () | Some _ -> error cur "trailing garbage after value");
+  v
+
+let of_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  of_string src
+
+(* ------------------------------------------------------------------ *)
+(* Accessors: total functions that raise [Parse_error] with a path-free
+   but type-specific message, which is enough for the two consumers. *)
+
+let member key = function
+  | Obj fields -> ( match List.assoc_opt key fields with Some v -> v | None -> Null)
+  | _ -> Null
+
+let to_int_exn = function
+  | Int i -> i
+  | Float f when Float.is_integer f -> int_of_float f
+  | v -> raise (Parse_error (Printf.sprintf "expected int, found %s" (to_string v)))
+
+let to_float_exn = function
+  | Int i -> float_of_int i
+  | Float f -> f
+  | v -> raise (Parse_error (Printf.sprintf "expected number, found %s" (to_string v)))
+
+let to_string_exn = function
+  | String s -> s
+  | v -> raise (Parse_error (Printf.sprintf "expected string, found %s" (to_string v)))
+
+let to_bool_exn = function
+  | Bool b -> b
+  | v -> raise (Parse_error (Printf.sprintf "expected bool, found %s" (to_string v)))
+
+let to_list_exn = function
+  | List items -> items
+  | v -> raise (Parse_error (Printf.sprintf "expected array, found %s" (to_string v)))

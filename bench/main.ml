@@ -5,19 +5,39 @@
      dune exec bench/main.exe            -- everything, paper scale
      dune exec bench/main.exe -- table1  -- one experiment
      dune exec bench/main.exe -- --small all   -- reduced inputs (CI-sized)
+     dune exec bench/main.exe -- sweep --json out.json   -- machine-readable
 
    Absolute numbers come from the simulator's calibrated cost model
    (DESIGN.md section 4); the comparison targets are the *shapes* reported
-   in the paper, quoted under each table. *)
+   in the paper, quoted under each table.
+
+   With [--json FILE] the harness also writes a machine-readable record of
+   the run: one entry per (app, nprocs, detect) sweep point with wall-clock
+   (monotonic), simulated time, GC allocation counters and wire totals,
+   plus the wall-clock of every table/figure section that ran. The schema
+   is documented in docs/BENCH.md; bench/compare.exe diffs two such files
+   and fails on regression. *)
 
 let ppf = Format.std_formatter
 
-let section title = Format.fprintf ppf "@.=== %s ===@.@." title
+let section_walls : (string * float) list ref = ref []
+
+let current_section = ref ""
+
+let section title =
+  current_section := title;
+  Format.fprintf ppf "@.=== %s ===@.@." title
+
+(* Wall-clock via the monotonic clock (CLOCK_MONOTONIC under the hood):
+   NTP steps and leap smearing cannot corrupt the JSON numbers. *)
+let now_s () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
 
 let wall f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = now_s () in
   let result = f () in
-  Format.fprintf ppf "(%.1fs)@." (Unix.gettimeofday () -. t0);
+  let dt = now_s () -. t0 in
+  if !current_section <> "" then section_walls := (!current_section, dt) :: !section_walls;
+  Format.fprintf ppf "(%.1fs)@." dt;
   result
 
 (* ------------------------------------------------------------------ *)
@@ -99,6 +119,12 @@ let run_micro () =
 
 let scale = ref Apps.Registry.Paper
 
+let scale_name () =
+  match !scale with
+  | Apps.Registry.Paper -> "paper"
+  | Apps.Registry.Small -> "small"
+  | Apps.Registry.Large -> "large"
+
 let run_table1 () =
   section "Table 1";
   wall (fun () -> Core.Report.table1 ppf (Core.Experiments.table1 ~scale:!scale ()))
@@ -161,6 +187,117 @@ let run_faults () =
   section "Fault sweep: report stability over a lossy wire";
   wall (fun () -> Core.Report.faults ppf (Core.Experiments.fault_sweep_all ~scale:!scale ()))
 
+(* ------------------------------------------------------------------ *)
+(* The machine-readable sweep: one simulated run per (app, nprocs,
+   detect) point, timed with the monotonic clock and bracketed by
+   [Gc.quick_stat] so allocation pressure is part of the record. *)
+
+let sweep_entries : Bench_json.t list ref = ref []
+
+let bench_entry ~nprocs ~detect name =
+  let app = Apps.Registry.make ~scale:!scale name in
+  let cfg = { Lrc.Config.default with Lrc.Config.detect } in
+  (* level the heap between points so one entry's garbage does not bill
+     the next entry's collector *)
+  Gc.full_major ();
+  let g0 = Gc.quick_stat () in
+  let t0 = now_s () in
+  let outcome = Core.Driver.run ~cfg ~app ~nprocs () in
+  let t1 = now_s () in
+  let g1 = Gc.quick_stat () in
+  let stats = outcome.Core.Driver.stats in
+  let open Bench_json in
+  let entry =
+    Obj
+      [
+        ("app", String (String.lowercase_ascii name));
+        ("scale", String (scale_name ()));
+        ("nprocs", Int nprocs);
+        ("detect", Bool detect);
+        ("protocol", String (Lrc.Config.protocol_name cfg.Lrc.Config.protocol));
+        ("wall_s", Float (t1 -. t0));
+        ("sim_time_ns", Int outcome.Core.Driver.sim_time_ns);
+        ("races", Int (List.length outcome.Core.Driver.races));
+        ("mem_checksum", Int outcome.Core.Driver.mem_checksum);
+        ("messages", Int stats.Sim.Stats.messages);
+        ("fragments", Int stats.Sim.Stats.fragments);
+        ("bytes", Int stats.Sim.Stats.bytes);
+        ("read_notice_bytes", Int stats.Sim.Stats.read_notice_bytes);
+        ("bitmap_round_bytes", Int stats.Sim.Stats.bitmap_round_bytes);
+        ("diffs_created", Int stats.Sim.Stats.diffs_created);
+        ("diffs_gced", Int stats.Sim.Stats.diffs_gced);
+        ("pages_fetched", Int stats.Sim.Stats.pages_fetched);
+        ("intervals_created", Int stats.Sim.Stats.intervals_created);
+        ("interval_comparisons", Int stats.Sim.Stats.interval_comparisons);
+        ("bitmaps_requested", Int stats.Sim.Stats.bitmaps_requested);
+        ("shared_reads", Int stats.Sim.Stats.shared_reads);
+        ("shared_writes", Int stats.Sim.Stats.shared_writes);
+        ("private_accesses", Int stats.Sim.Stats.private_accesses);
+        ("lock_acquires", Int stats.Sim.Stats.lock_acquires);
+        ("barriers", Int stats.Sim.Stats.barriers);
+        ("minor_words", Float (g1.Gc.minor_words -. g0.Gc.minor_words));
+        ("promoted_words", Float (g1.Gc.promoted_words -. g0.Gc.promoted_words));
+        ("major_words", Float (g1.Gc.major_words -. g0.Gc.major_words));
+        ("minor_collections", Int (g1.Gc.minor_collections - g0.Gc.minor_collections));
+        ("major_collections", Int (g1.Gc.major_collections - g0.Gc.major_collections));
+      ]
+  in
+  sweep_entries := entry :: !sweep_entries;
+  Format.fprintf ppf "%-6s p=%-3d %s  %8.2fs wall  %10d ns sim  %9.2e minor words  %d races@."
+    (String.lowercase_ascii name) nprocs
+    (if detect then "detect   " else "no-detect")
+    (t1 -. t0) outcome.Core.Driver.sim_time_ns
+    (g1.Gc.minor_words -. g0.Gc.minor_words)
+    (List.length outcome.Core.Driver.races)
+
+let sweep_procs : int list option ref = ref None
+
+let run_sweep () =
+  section
+    (Printf.sprintf "Scale sweep (%s inputs): wall clock, allocation, wire totals"
+       (scale_name ()));
+  let procs =
+    match !sweep_procs with
+    | Some procs -> procs
+    | None -> ( match !scale with Apps.Registry.Small -> [ 4; 8; 16 ] | _ -> [ 8; 16; 32 ])
+  in
+  let names =
+    (* at the large tier only SOR/FFT/Water have enlarged inputs; TSP
+       would silently rerun its paper input, so leave it out *)
+    match !scale with
+    | Apps.Registry.Large -> [ "fft"; "sor"; "water" ]
+    | _ -> Apps.Registry.all_names
+  in
+  wall (fun () ->
+      List.iter
+        (fun name ->
+          List.iter (fun nprocs -> bench_entry ~nprocs ~detect:true name) procs;
+          (* one uninstrumented point per app anchors the slowdown *)
+          bench_entry ~nprocs:(List.hd procs) ~detect:false name)
+        names)
+
+(* ------------------------------------------------------------------ *)
+
+let json_out : string option ref = ref None
+
+let write_json path =
+  let open Bench_json in
+  let v =
+    Obj
+      [
+        ("schema", String "cvm-race-bench/1");
+        ("scale", String (scale_name ()));
+        ("entries", List (List.rev !sweep_entries));
+        ( "sections",
+          List
+            (List.rev_map
+               (fun (name, dt) -> Obj [ ("name", String name); ("wall_s", Float dt) ])
+               !section_walls) );
+      ]
+  in
+  to_file path v;
+  Format.fprintf ppf "@.wrote %s@." path
+
 let all () =
   run_table1 ();
   run_table2 ();
@@ -172,20 +309,34 @@ let all () =
   run_retention ();
   run_protocols ();
   run_faults ();
+  run_sweep ();
   run_micro ()
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let args =
-    List.filter
-      (fun arg ->
-        if arg = "--small" then begin
-          scale := Apps.Registry.Small;
-          false
-        end
-        else true)
-      args
+  let rec parse_flags = function
+    | "--small" :: rest ->
+        scale := Apps.Registry.Small;
+        parse_flags rest
+    | "--large" :: rest ->
+        scale := Apps.Registry.Large;
+        parse_flags rest
+    | "--json" :: path :: rest ->
+        json_out := Some path;
+        parse_flags rest
+    | "--json" :: [] ->
+        prerr_endline "--json requires a file argument";
+        exit 2
+    | "--procs" :: spec :: rest ->
+        sweep_procs := Some (List.map int_of_string (String.split_on_char ',' spec));
+        parse_flags rest
+    | "--procs" :: [] ->
+        prerr_endline "--procs requires a comma-separated list";
+        exit 2
+    | arg :: rest -> arg :: parse_flags rest
+    | [] -> []
   in
+  let args = parse_flags args in
   let dispatch = function
     | "table1" -> run_table1 ()
     | "table2" -> run_table2 ()
@@ -198,12 +349,14 @@ let () =
     | "retention" -> run_retention ()
     | "faults" -> run_faults ()
     | "micro" -> run_micro ()
+    | "sweep" -> run_sweep ()
     | "all" -> all ()
     | other ->
         Format.fprintf ppf
           "unknown experiment %S (expected \
-           table1|table2|table3|figure3|figure4|figure5|ablation|retention|protocols|faults|micro|all)@."
+           table1|table2|table3|figure3|figure4|figure5|ablation|retention|protocols|faults|micro|sweep|all)@."
           other;
         exit 2
   in
-  match args with [] -> all () | args -> List.iter dispatch args
+  (match args with [] -> all () | args -> List.iter dispatch args);
+  match !json_out with Some path -> write_json path | None -> ()

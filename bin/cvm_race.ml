@@ -31,9 +31,19 @@ let procs_arg =
   Arg.(value & opt int 8 & info [ "p"; "procs" ] ~docv:"N" ~doc)
 
 let scale_arg =
-  let doc = "Input scale: 'paper' (evaluation-sized) or 'small' (seconds)." in
-  Arg.(value & opt (enum [ ("paper", Apps.Registry.Paper); ("small", Apps.Registry.Small) ])
-         Apps.Registry.Paper
+  let doc =
+    "Input scale: 'paper' (evaluation-sized), 'small' (seconds), or 'large' (the benchmark \
+     pipeline's enlarged SOR/FFT/Water tier)."
+  in
+  Arg.(value
+      & opt
+          (enum
+             [
+               ("paper", Apps.Registry.Paper);
+               ("small", Apps.Registry.Small);
+               ("large", Apps.Registry.Large);
+             ])
+          Apps.Registry.Paper
       & info [ "scale" ] ~docv:"SCALE" ~doc)
 
 let protocol_arg =
@@ -61,6 +71,14 @@ let diff_stores_arg =
      instrumentation (section 6.5)."
   in
   Arg.(value & flag & info [ "stores-from-diffs" ] ~doc)
+
+let gc_epochs_arg =
+  let doc =
+    "Interval garbage collection: every $(docv) barrier epochs, validate invalid pages \
+     and reclaim unreachable diffs. Bounds diff storage on long runs; races and the \
+     final memory image are unaffected."
+  in
+  Arg.(value & opt (some int) None & info [ "gc-epochs" ] ~docv:"K" ~doc)
 
 let slowdown_arg =
   let doc = "Also run the uninstrumented baseline and report the slowdown." in
@@ -117,7 +135,7 @@ let transport_arg =
 
 let ppf = Format.std_formatter
 
-let config ~protocol ~no_detect ~first_race_only ~stores_from_diffs ~oracle =
+let config ~protocol ~no_detect ~first_race_only ~stores_from_diffs ~oracle ~gc_epochs =
   {
     Lrc.Config.default with
     protocol;
@@ -125,6 +143,7 @@ let config ~protocol ~no_detect ~first_race_only ~stores_from_diffs ~oracle =
     first_race_only;
     stores_from_diffs;
     record_trace = oracle;
+    gc_epochs;
   }
 
 let net_config cfg ~drop ~dup ~reorder ~partitions ~net_seed ~watchdog_ms ~max_retries
@@ -170,10 +189,13 @@ let print_outcome (outcome : Core.Driver.outcome) =
   Format.fprintf ppf "@[<v 2>statistics:@ %a@]@." Sim.Stats.pp outcome.Core.Driver.stats
 
 let run_command =
-  let run app_name procs scale protocol no_detect first_race_only stores_from_diffs slowdown
-      oracle drop dup reorder partitions net_seed watchdog_ms max_retries transport =
+  let run app_name procs scale protocol no_detect first_race_only stores_from_diffs
+      gc_epochs slowdown oracle drop dup reorder partitions net_seed watchdog_ms
+      max_retries transport =
     let app = Apps.Registry.make ~scale app_name in
-    let cfg = config ~protocol ~no_detect ~first_race_only ~stores_from_diffs ~oracle in
+    let cfg =
+      config ~protocol ~no_detect ~first_race_only ~stores_from_diffs ~oracle ~gc_epochs
+    in
     let cfg =
       net_config cfg ~drop ~dup ~reorder ~partitions ~net_seed ~watchdog_ms ~max_retries
         ~transport
@@ -204,20 +226,22 @@ let run_command =
       end
     end
   in
-  let run app_name procs scale protocol no_detect first_race_only stores_from_diffs slowdown
-      oracle drop dup reorder partitions net_seed watchdog_ms max_retries transport =
+  let run app_name procs scale protocol no_detect first_race_only stores_from_diffs
+      gc_epochs slowdown oracle drop dup reorder partitions net_seed watchdog_ms
+      max_retries transport =
     try
-      run app_name procs scale protocol no_detect first_race_only stores_from_diffs slowdown
-        oracle drop dup reorder partitions net_seed watchdog_ms max_retries transport
+      run app_name procs scale protocol no_detect first_race_only stores_from_diffs
+        gc_epochs slowdown oracle drop dup reorder partitions net_seed watchdog_ms
+        max_retries transport
     with Sim.Engine.Deadlock diagnosis ->
       Format.fprintf ppf "DEADLOCK@.%s@." (Sim.Engine.diagnosis_to_string diagnosis);
       exit 2
   in
   let term =
     Term.(const run $ app_arg $ procs_arg $ scale_arg $ protocol_arg $ no_detect_arg
-        $ first_race_arg $ diff_stores_arg $ slowdown_arg $ oracle_arg $ drop_arg $ dup_arg
-        $ reorder_arg $ partition_arg $ net_seed_arg $ watchdog_arg $ max_retries_arg
-        $ transport_arg)
+        $ first_race_arg $ diff_stores_arg $ gc_epochs_arg $ slowdown_arg $ oracle_arg
+        $ drop_arg $ dup_arg $ reorder_arg $ partition_arg $ net_seed_arg $ watchdog_arg
+        $ max_retries_arg $ transport_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run an application under online race detection.") term
 
@@ -259,6 +283,7 @@ let record_command =
       drop dup reorder partitions net_seed watchdog_ms max_retries transport out =
     let cfg =
       config ~protocol ~no_detect ~first_race_only ~stores_from_diffs ~oracle:false
+        ~gc_epochs:None
     in
     let cfg =
       net_config cfg ~drop ~dup ~reorder ~partitions ~net_seed ~watchdog_ms ~max_retries

@@ -23,6 +23,7 @@ type params = { n1 : int; n2 : int; n3 : int }
 
 let paper_params = { n1 = 64; n2 = 64; n3 = 16 }
 let small_params = { n1 = 8; n2 = 4; n3 = 4 }
+let large_params = { n1 = 128; n2 = 64; n3 = 32 }
 
 let is_power_of_two n = n > 0 && n land (n - 1) = 0
 

@@ -10,6 +10,9 @@ val paper_params : params
 
 val small_params : params
 
+val large_params : params
+(** 128 x 64 x 32: the benchmark pipeline's headroom tier. *)
+
 val fft_in_place : inverse:bool -> float array -> float array -> unit
 (** In-place radix-2 Cooley-Tukey over private arrays (re, im). Lengths
     must be equal powers of two. *)

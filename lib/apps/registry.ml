@@ -1,7 +1,7 @@
-(* Name-indexed access to the four applications, at paper scale and at the
-   reduced test scale. *)
+(* Name-indexed access to the four applications, at paper scale, at the
+   reduced test scale, and at the enlarged bench tier. *)
 
-type scale = Paper | Small
+type scale = Paper | Small | Large
 
 let all_names = [ "fft"; "sor"; "tsp"; "water" ]
 
@@ -12,13 +12,16 @@ let make ?(scale = Paper) name =
   match (String.lowercase_ascii name, scale) with
   | "fft", Paper -> Fft.make Fft.paper_params
   | "fft", Small -> Fft.make Fft.small_params
+  | "fft", Large -> Fft.make Fft.large_params
   | "sor", Paper -> Sor.make Sor.paper_params
   | "sor", Small -> Sor.make Sor.small_params
-  | "tsp", Paper -> Tsp.make Tsp.paper_params
+  | "sor", Large -> Sor.make Sor.large_params
+  | "tsp", Paper | "tsp", Large -> Tsp.make Tsp.paper_params
   | "tsp", Small -> Tsp.make Tsp.small_params
   | "water", Paper -> Water.make Water.paper_params
   | "water", Small -> Water.make Water.small_params
-  | "lu", Paper -> Lu.make Lu.paper_params
+  | "water", Large -> Water.make Water.large_params
+  | "lu", Paper | "lu", Large -> Lu.make Lu.paper_params
   | "lu", Small -> Lu.make Lu.small_params
   | other, _ -> invalid_arg (Printf.sprintf "Registry.make: unknown application %S" other)
 

@@ -3,6 +3,10 @@
 type scale =
   | Paper  (** the evaluation's input sizes (minutes of simulation) *)
   | Small  (** reduced inputs for tests and quick demos (seconds) *)
+  | Large
+      (** enlarged inputs for SOR/FFT/Water, used by the benchmark
+          pipeline's headroom sweep; TSP and LU fall back to [Paper]
+          (their inputs already dominate their runtimes) *)
 
 val all_names : string list
 (** The paper's four: ["fft"; "sor"; "tsp"; "water"]. The evaluation

@@ -14,6 +14,7 @@ type params = { rows : int; cols : int; iters : int }
 
 let paper_params = { rows = 512; cols = 512; iters = 5 }
 let small_params = { rows = 24; cols = 16; iters = 4 }
+let large_params = { rows = 1024; cols = 1024; iters = 5 }
 
 let boundary_value ~row ~col ~rows ~cols =
   (* fixed temperature on the top edge, cold elsewhere *)

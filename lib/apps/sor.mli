@@ -10,6 +10,9 @@ val paper_params : params
 
 val small_params : params
 
+val large_params : params
+(** 1024 x 1024, 5 sweeps: the benchmark pipeline's headroom tier. *)
+
 val reference : params -> float array array
 (** Sequential reference grid; the parallel run matches it exactly. *)
 

@@ -24,6 +24,7 @@ type params = {
 
 let paper_params = { nmols = 216; steps = 5; mols_per_lock = 4; inject_bug = true }
 let small_params = { nmols = 24; steps = 3; mols_per_lock = 4; inject_bug = true }
+let large_params = { nmols = 512; steps = 5; mols_per_lock = 4; inject_bug = true }
 
 let lock_global = 0
 let lock_group g = 1 + g
@@ -61,37 +62,60 @@ let site_interaction (xa, ya, za) (xb, yb, zb) =
 type reference_result = { positions : (float * float * float) array array; potential : float }
 
 let reference { nmols; steps; _ } =
-  let pos = Array.init nmols (fun m -> Array.init sites (initial_site nmols m)) in
-  let vel = Array.init nmols (fun _ -> Array.make sites (0.0, 0.0, 0.0)) in
-  let potential = ref 0.0 in
+  (* O(nmols^2 * sites^2 * steps) interactions: the state lives in flat
+     float arrays so the inner loop allocates nothing. The arithmetic and
+     its evaluation order are exactly those of {!site_interaction}, so
+     the result is bit-identical to the tuple formulation. *)
+  let cells = nmols * sites * 3 in
+  let slot m s axis = (((m * sites) + s) * 3) + axis in
+  let pos = Array.make cells 0.0 in
+  for m = 0 to nmols - 1 do
+    for s = 0 to sites - 1 do
+      let x, y, z = initial_site nmols m s in
+      pos.(slot m s 0) <- x;
+      pos.(slot m s 1) <- y;
+      pos.(slot m s 2) <- z
+    done
+  done;
+  let vel = Array.make cells 0.0 in
+  let force = Array.make cells 0.0 in
+  let potential = Array.make 1 0.0 in
   for _ = 1 to steps do
-    let force = Array.init nmols (fun _ -> Array.make sites (0.0, 0.0, 0.0)) in
-    potential := 0.0;
+    Array.fill force 0 cells 0.0;
+    potential.(0) <- 0.0;
     for i = 0 to nmols - 1 do
       for j = i + 1 to nmols - 1 do
         for si = 0 to sites - 1 do
           for sj = 0 to sites - 1 do
-            let (fx, fy, fz), pot = site_interaction pos.(i).(si) pos.(j).(sj) in
-            let ax, ay, az = force.(i).(si) in
-            force.(i).(si) <- (ax +. fx, ay +. fy, az +. fz);
-            let bx, by, bz = force.(j).(sj) in
-            force.(j).(sj) <- (bx -. fx, by -. fy, bz -. fz);
-            potential := !potential +. pot
+            let a = slot i si 0 and b = slot j sj 0 in
+            let dx = Array.unsafe_get pos a -. Array.unsafe_get pos b
+            and dy = Array.unsafe_get pos (a + 1) -. Array.unsafe_get pos (b + 1)
+            and dz = Array.unsafe_get pos (a + 2) -. Array.unsafe_get pos (b + 2) in
+            let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) +. softening in
+            let inv = 1.0 /. r2 in
+            let f = inv *. inv in
+            Array.unsafe_set force a (Array.unsafe_get force a +. (f *. dx));
+            Array.unsafe_set force (a + 1) (Array.unsafe_get force (a + 1) +. (f *. dy));
+            Array.unsafe_set force (a + 2) (Array.unsafe_get force (a + 2) +. (f *. dz));
+            Array.unsafe_set force b (Array.unsafe_get force b -. (f *. dx));
+            Array.unsafe_set force (b + 1) (Array.unsafe_get force (b + 1) -. (f *. dy));
+            Array.unsafe_set force (b + 2) (Array.unsafe_get force (b + 2) -. (f *. dz));
+            potential.(0) <- potential.(0) +. inv
           done
         done
       done
     done;
-    for m = 0 to nmols - 1 do
-      for s = 0 to sites - 1 do
-        let vx, vy, vz = vel.(m).(s) and fx, fy, fz = force.(m).(s) in
-        let vx = vx +. (dt *. fx) and vy = vy +. (dt *. fy) and vz = vz +. (dt *. fz) in
-        vel.(m).(s) <- (vx, vy, vz);
-        let x, y, z = pos.(m).(s) in
-        pos.(m).(s) <- (x +. (dt *. vx), y +. (dt *. vy), z +. (dt *. vz))
-      done
+    for c = 0 to cells - 1 do
+      let v = vel.(c) +. (dt *. force.(c)) in
+      vel.(c) <- v;
+      pos.(c) <- pos.(c) +. (dt *. v)
     done
   done;
-  { positions = pos; potential = !potential }
+  let positions =
+    Array.init nmols (fun m ->
+        Array.init sites (fun s -> (pos.(slot m s 0), pos.(slot m s 1), pos.(slot m s 2))))
+  in
+  { positions; potential = potential.(0) }
 
 let memory_bytes { nmols; _ } = (nmols * mol_words * 8) + 64
 
@@ -229,7 +253,6 @@ let body ({ nmols; steps; mols_per_lock; inject_bug } as params) node =
     write_float node (field mol (off + 2)) z ~site:label
   in
   let ngroups = (nmols + mols_per_lock - 1) / mols_per_lock in
-  let group_of m = m / mols_per_lock in
   let per = (nmols + nprocs - 1) / nprocs in
   let lo = min nmols (pid * per) and hi = min nmols ((pid + 1) * per) in
   (* initialization: own molecules *)
@@ -256,23 +279,51 @@ let body ({ nmols; steps; mols_per_lock; inject_bug } as params) node =
     let private_force = Array.make (nmols * sites * 3) 0.0 in
     let touched = Array.make nmols false in
     let slot m s axis = (((m * sites) + s) * 3) + axis in
-    let local_potential = ref 0.0 in
+    (* one-element arrays keep the accumulators unboxed; the site triples
+       land in two reused flat buffers so the pair loop allocates nothing.
+       The DSM reads keep the exact order of the tuple formulation (each
+       triple was built right to left), and the arithmetic is exactly
+       {!site_interaction}'s, so the simulated run is unchanged. *)
+    let local_potential = Array.make 1 0.0 in
+    let pos_i = Array.make (sites * 3) 0.0 in
+    let pos_j = Array.make (sites * 3) 0.0 in
+    let load_sites buf mol =
+      for s = 0 to sites - 1 do
+        let b = s * 3 in
+        buf.(b + 2) <- read_float node (field mol (off_pos s 2)) ~site:"water:pos";
+        buf.(b + 1) <- read_float node (field mol (off_pos s 1)) ~site:"water:pos";
+        buf.(b) <- read_float node (field mol (off_pos s 0)) ~site:"water:pos"
+      done
+    in
     let pair_index = ref 0 in
     for i = 0 to nmols - 1 do
       for j = i + 1 to nmols - 1 do
         if !pair_index mod nprocs = pid then begin
-          let pos_i = Array.init sites (fun s -> read_site i s ~site:"water:pos") in
-          let pos_j = Array.init sites (fun s -> read_site j s ~site:"water:pos") in
+          load_sites pos_i i;
+          load_sites pos_j j;
           for si = 0 to sites - 1 do
             for sj = 0 to sites - 1 do
-              let (fx, fy, fz), pot = site_interaction pos_i.(si) pos_j.(sj) in
-              private_force.(slot i si 0) <- private_force.(slot i si 0) +. fx;
-              private_force.(slot i si 1) <- private_force.(slot i si 1) +. fy;
-              private_force.(slot i si 2) <- private_force.(slot i si 2) +. fz;
-              private_force.(slot j sj 0) <- private_force.(slot j sj 0) -. fx;
-              private_force.(slot j sj 1) <- private_force.(slot j sj 1) -. fy;
-              private_force.(slot j sj 2) <- private_force.(slot j sj 2) -. fz;
-              local_potential := !local_potential +. pot
+              let a = si * 3 and b = sj * 3 in
+              let dx = Array.unsafe_get pos_i a -. Array.unsafe_get pos_j b
+              and dy = Array.unsafe_get pos_i (a + 1) -. Array.unsafe_get pos_j (b + 1)
+              and dz = Array.unsafe_get pos_i (a + 2) -. Array.unsafe_get pos_j (b + 2) in
+              let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) +. softening in
+              let inv = 1.0 /. r2 in
+              let f = inv *. inv in
+              let ia = slot i si 0 and jb = slot j sj 0 in
+              Array.unsafe_set private_force ia
+                (Array.unsafe_get private_force ia +. (f *. dx));
+              Array.unsafe_set private_force (ia + 1)
+                (Array.unsafe_get private_force (ia + 1) +. (f *. dy));
+              Array.unsafe_set private_force (ia + 2)
+                (Array.unsafe_get private_force (ia + 2) +. (f *. dz));
+              Array.unsafe_set private_force jb
+                (Array.unsafe_get private_force jb -. (f *. dx));
+              Array.unsafe_set private_force (jb + 1)
+                (Array.unsafe_get private_force (jb + 1) -. (f *. dy));
+              Array.unsafe_set private_force (jb + 2)
+                (Array.unsafe_get private_force (jb + 2) -. (f *. dz));
+              local_potential.(0) <- local_potential.(0) +. inv
             done
           done;
           touched.(i) <- true;
@@ -283,15 +334,19 @@ let body ({ nmols; steps; mols_per_lock; inject_bug } as params) node =
         incr pair_index
       done
     done;
-    (* merge per lock group *)
+    (* merge per lock group: a group's members are the touched molecules
+       in its contiguous [mols_per_lock] range, visited in ascending
+       order — the same set and order the old list pipeline produced *)
     for g = 0 to ngroups - 1 do
-      let members =
-        List.filter (fun m -> group_of m = g && touched.(m)) (List.init nmols Fun.id)
-      in
-      if members <> [] then
+      let g_lo = g * mols_per_lock and g_hi = min nmols ((g + 1) * mols_per_lock) in
+      let any = ref false in
+      for m = g_lo to g_hi - 1 do
+        if touched.(m) then any := true
+      done;
+      if !any then
         with_lock node (lock_group g) (fun () ->
-            List.iter
-              (fun m ->
+            for m = g_lo to g_hi - 1 do
+              if touched.(m) then begin
                 for s = 0 to sites - 1 do
                   for axis = 0 to 2 do
                     let addr = field m (off_force s axis) in
@@ -300,36 +355,43 @@ let body ({ nmols; steps; mols_per_lock; inject_bug } as params) node =
                       ~site:"water:force_merge"
                   done
                 done;
-                touch_private node 9)
-              members)
+                touch_private node 9
+              end
+            done)
     done;
     (* the potential-energy sum: the seeded Splash2-style bug updates the
        global accumulator without the lock *)
     if inject_bug then begin
       let pot = read_float node potential ~site:"water:pot_racy" in
-      write_float node potential (pot +. !local_potential) ~site:"water:pot_racy"
+      write_float node potential (pot +. local_potential.(0)) ~site:"water:pot_racy"
     end
     else
       with_lock node lock_global (fun () ->
           let pot = read_float node potential ~site:"water:pot_locked" in
-          write_float node potential (pot +. !local_potential) ~site:"water:pot_locked");
+          write_float node potential (pot +. local_potential.(0)) ~site:"water:pot_locked");
     barrier node;
-    (* phase 3: integrate own molecules *)
+    (* phase 3: integrate own molecules. The triples are read in the
+       tuple formulation's order (right to left within a triple) and
+       written ascending, without building the intermediate tuples. *)
     for m = lo to hi - 1 do
       for s = 0 to sites - 1 do
-        let read3 off ~site:label =
-          ( read_float node (field m (off + 0)) ~site:label,
-            read_float node (field m (off + 1)) ~site:label,
-            read_float node (field m (off + 2)) ~site:label )
-        in
-        let vx, vy, vz = read3 (off_vel s 0) ~site:"water:integrate" in
-        let fx, fy, fz = read3 (off_force s 0) ~site:"water:integrate" in
+        let vb = off_vel s 0 and fb = off_force s 0 and pb = off_pos s 0 in
+        let vz = read_float node (field m (vb + 2)) ~site:"water:integrate" in
+        let vy = read_float node (field m (vb + 1)) ~site:"water:integrate" in
+        let vx = read_float node (field m (vb + 0)) ~site:"water:integrate" in
+        let fz = read_float node (field m (fb + 2)) ~site:"water:integrate" in
+        let fy = read_float node (field m (fb + 1)) ~site:"water:integrate" in
+        let fx = read_float node (field m (fb + 0)) ~site:"water:integrate" in
         let vx = vx +. (dt *. fx) and vy = vy +. (dt *. fy) and vz = vz +. (dt *. fz) in
-        write_vec m (off_vel s 0) (vx, vy, vz) ~site:"water:integrate";
-        let x, y, z = read3 (off_pos s 0) ~site:"water:integrate" in
-        write_vec m (off_pos s 0)
-          (x +. (dt *. vx), y +. (dt *. vy), z +. (dt *. vz))
-          ~site:"water:integrate";
+        write_float node (field m (vb + 0)) vx ~site:"water:integrate";
+        write_float node (field m (vb + 1)) vy ~site:"water:integrate";
+        write_float node (field m (vb + 2)) vz ~site:"water:integrate";
+        let z = read_float node (field m (pb + 2)) ~site:"water:integrate" in
+        let y = read_float node (field m (pb + 1)) ~site:"water:integrate" in
+        let x = read_float node (field m (pb + 0)) ~site:"water:integrate" in
+        write_float node (field m (pb + 0)) (x +. (dt *. vx)) ~site:"water:integrate";
+        write_float node (field m (pb + 1)) (y +. (dt *. vy)) ~site:"water:integrate";
+        write_float node (field m (pb + 2)) (z +. (dt *. vz)) ~site:"water:integrate";
         touch_private node 8;
         compute node 30.0
       done

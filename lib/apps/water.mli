@@ -20,6 +20,9 @@ val paper_params : params
 
 val small_params : params
 
+val large_params : params
+(** 512 molecules, 5 steps: the benchmark pipeline's headroom tier. *)
+
 type reference_result = { positions : (float * float * float) array array; potential : float }
 
 val reference : params -> reference_result

@@ -10,11 +10,15 @@
    code changed, or determinism broke — all three are exactly what this
    exists to catch. *)
 
-let scale_name = function Apps.Registry.Paper -> "paper" | Apps.Registry.Small -> "small"
+let scale_name = function
+  | Apps.Registry.Paper -> "paper"
+  | Apps.Registry.Small -> "small"
+  | Apps.Registry.Large -> "large"
 
 let scale_of_name = function
   | "paper" -> Apps.Registry.Paper
   | "small" -> Apps.Registry.Small
+  | "large" -> Apps.Registry.Large
   | s -> invalid_arg (Printf.sprintf "Trace_run: unknown scale %S" s)
 
 let protocol_of_name = function

@@ -207,3 +207,305 @@ let all =
     store_buffering;
     coherence_rr;
   ]
+
+(* ------------------------------------------------------------------ *)
+(* Protocol-stress kernels.
+
+   Where the shapes above probe the memory model's *outcomes*, these
+   kernels aim small, pointed programs at the protocol core's hot paths —
+   diff caching, interval GC, write notices against already-invalid
+   pages, lock handoff chains, false sharing at a barrier. Each runs with
+   detection on and an access trace recorded, so a test can demand the
+   online detector and the offline happens-before oracle agree exactly on
+   the racy addresses. *)
+
+type kernel = {
+  k_name : string;
+  k_nprocs : int;
+  k_pages : int;
+  k_words : int;
+  k_cfg : Lrc.Config.t -> Lrc.Config.t;
+      (* per-kernel config adjustments (e.g. interval GC cadence) applied
+         on top of the protocol under test *)
+  k_body : base:int -> Lrc.Dsm.node -> unit;
+}
+
+type kernel_outcome = {
+  detected : int list;  (* racy addresses the online detector reported *)
+  oracle : int list;  (* racy addresses from the offline oracle *)
+  checksum : int;
+}
+
+let run_kernel ?(protocol = Lrc.Config.Multi_writer) kernel =
+  let cfg =
+    kernel.k_cfg
+      { Lrc.Config.default with Lrc.Config.protocol; detect = true; record_trace = true }
+  in
+  let cluster = Lrc.Cluster.create ~cfg ~nprocs:kernel.k_nprocs ~pages:kernel.k_pages () in
+  let base =
+    Lrc.Cluster.alloc cluster (kernel.k_words * 8) ~name:("kernel:" ^ kernel.k_name)
+  in
+  Lrc.Cluster.run cluster ~body:(fun node -> kernel.k_body ~base node);
+  {
+    detected =
+      Lrc.Cluster.races cluster
+      |> List.map (fun (r : Proto.Race.t) -> r.Proto.Race.addr)
+      |> List.sort_uniq compare;
+    oracle = Racedetect.Oracle.racy_addrs ~nprocs:kernel.k_nprocs (Lrc.Cluster.trace cluster);
+    checksum = Lrc.Cluster.memory_checksum cluster;
+  }
+
+(* words_per_page at the default geometry: 4096-byte pages, 8-byte words *)
+let wpp = 512
+
+let expect node what got want =
+  if got <> want then
+    failwith
+      (Printf.sprintf "%s: proc %d read %d, expected %d" what (Lrc.Dsm.pid node) got want)
+
+let diff_cache_reuse =
+  (* One writer dirties a run of words; after the barrier, every other
+     processor faults the same page and is served the same cached diffs.
+     A second page carries a deliberate unsynchronized write/read pair so
+     the kernel also exercises detection, not just the serving path. *)
+  {
+    k_name = "diff-cache-reuse";
+    k_nprocs = 4;
+    k_pages = 4;
+    k_words = 2 * wpp;
+    k_cfg = Fun.id;
+    k_body =
+      (fun ~base node ->
+        let open Lrc.Dsm in
+        barrier node;
+        if pid node = 0 then
+          for w = 0 to 15 do
+            write_int_at node base w (100 + w)
+          done;
+        barrier node;
+        if pid node > 0 then
+          for w = 0 to 15 do
+            expect node "diff-cache-reuse" (read_int_at node base w) (100 + w)
+          done;
+        (* the racy pair lives on the second page *)
+        if pid node = 1 then write_int_at node base wpp 7;
+        if pid node = 2 then ignore (read_int_at node base wpp);
+        barrier node);
+  }
+
+let gc_interval_rerequest =
+  (* Interval GC every 2 epochs: a page dirtied in epoch 1 goes invalid
+     everywhere, several empty epochs let the GC validate the stale
+     copies and drop the now-unreachable diffs, and only then does a late
+     reader touch the page. The values must survive the collection, and
+     the detector must still agree with the oracle across the GC'd
+     epochs. *)
+  {
+    k_name = "gc-interval-rerequest";
+    k_nprocs = 4;
+    k_pages = 4;
+    k_words = 2 * wpp;
+    k_cfg = (fun cfg -> { cfg with Lrc.Config.gc_epochs = Some 2 });
+    k_body =
+      (fun ~base node ->
+        let open Lrc.Dsm in
+        barrier node;
+        if pid node = 0 then
+          for w = 0 to 7 do
+            write_int_at node base w (w * w)
+          done;
+        barrier node;
+        (* empty epochs: the GC fires, validates invalid pages, then one
+           barrier later reclaims the diffs *)
+        barrier node;
+        barrier node;
+        barrier node;
+        if pid node = 3 then
+          for w = 0 to 7 do
+            expect node "gc-interval-rerequest" (read_int_at node base w) (w * w)
+          done;
+        (* a racy pair after the collection: detection state must have
+           survived the pruning *)
+        if pid node = 0 then write_int_at node base wpp 1;
+        if pid node = 1 then ignore (read_int_at node base wpp);
+        barrier node);
+  }
+
+let write_notice_invalid_page =
+  (* A second write notice arrives for a page the receiver already holds
+     invalid: the notice must pile onto the existing invalidation, and
+     the eventual fetch must see both epochs' writes. *)
+  {
+    k_name = "write-notice-invalid";
+    k_nprocs = 3;
+    k_pages = 2;
+    k_words = wpp;
+    k_cfg = Fun.id;
+    k_body =
+      (fun ~base node ->
+        let open Lrc.Dsm in
+        (* everyone caches the page first *)
+        ignore (read_int_at node base (pid node));
+        barrier node;
+        if pid node = 0 then write_int_at node base 0 1;
+        barrier node;
+        (* p1 and p2 hold the page invalid; p0 writes it again *)
+        if pid node = 0 then begin
+          write_int_at node base 0 2;
+          write_int_at node base 1 3
+        end;
+        barrier node;
+        if pid node > 0 then begin
+          expect node "write-notice-invalid" (read_int_at node base 0) 2;
+          expect node "write-notice-invalid" (read_int_at node base 1) 3
+        end;
+        barrier node);
+  }
+
+let lock_handoff_chain =
+  (* Lock ownership migrates around the ring twice with no intervening
+     barrier; the updates must accumulate and the handoff edges must
+     order every access (no false positives). *)
+  {
+    k_name = "lock-handoff-chain";
+    k_nprocs = 4;
+    k_pages = 2;
+    k_words = wpp;
+    k_cfg = Fun.id;
+    k_body =
+      (fun ~base node ->
+        let open Lrc.Dsm in
+        barrier node;
+        for _round = 1 to 2 do
+          with_lock node 5 (fun () ->
+              let v = read_int_at node base 0 in
+              compute node 5_000.0;
+              write_int_at node base 0 (v + 1))
+        done;
+        barrier node;
+        if pid node = 0 then expect node "lock-handoff-chain" (read_int_at node base 0) 8;
+        barrier node);
+  }
+
+let lock_chained_publish =
+  (* Two locks chained: the value written under lock A is republished
+     under lock B by a different processor; a third processor reads it
+     under lock B only. The A->B chain through p1 must order p0's write
+     before p2's read. *)
+  {
+    k_name = "lock-chained-publish";
+    k_nprocs = 3;
+    k_pages = 2;
+    k_words = wpp;
+    k_cfg = Fun.id;
+    k_body =
+      (fun ~base node ->
+        let open Lrc.Dsm in
+        barrier node;
+        (match pid node with
+        | 0 -> with_lock node 1 (fun () -> write_int_at node base 0 41)
+        | 1 ->
+            idle node 400_000.0;
+            let v = with_lock node 1 (fun () -> read_int_at node base 0) in
+            with_lock node 2 (fun () -> write_int_at node base 1 (v + 1))
+        | _ ->
+            idle node 900_000.0;
+            let v = with_lock node 2 (fun () -> read_int_at node base 1) in
+            if v <> 0 then expect node "lock-chained-publish" v 42);
+        barrier node);
+  }
+
+let false_sharing_writers =
+  (* Every processor writes its own word of one shared page between two
+     barriers — the multi-writer protocol's bread and butter. Word-level
+     bitmaps must classify all of it as false sharing: zero races. *)
+  {
+    k_name = "false-sharing-writers";
+    k_nprocs = 4;
+    k_pages = 2;
+    k_words = wpp;
+    k_cfg = Fun.id;
+    k_body =
+      (fun ~base node ->
+        let open Lrc.Dsm in
+        barrier node;
+        write_int_at node base (pid node) (10 * (pid node + 1));
+        barrier node;
+        let neighbour = (pid node + 1) mod nprocs node in
+        expect node "false-sharing-writers"
+          (read_int_at node base neighbour)
+          (10 * (neighbour + 1));
+        barrier node);
+  }
+
+let true_sharing_overlap =
+  (* Same shape as [false_sharing_writers], except two of the writers
+     collide on one word: exactly that word must be reported. *)
+  {
+    k_name = "true-sharing-overlap";
+    k_nprocs = 4;
+    k_pages = 2;
+    k_words = wpp;
+    k_cfg = Fun.id;
+    k_body =
+      (fun ~base node ->
+        let open Lrc.Dsm in
+        barrier node;
+        let word = if pid node < 2 then 0 else pid node in
+        write_int_at node base word (pid node + 1);
+        barrier node);
+  }
+
+let multi_reader_race =
+  (* One unsynchronized writer, three concurrent readers: read notices
+     from every reader must reach the master and each reader forms a
+     racy pair with the writer on the same address. *)
+  {
+    k_name = "multi-reader-race";
+    k_nprocs = 4;
+    k_pages = 2;
+    k_words = wpp;
+    k_cfg = Fun.id;
+    k_body =
+      (fun ~base node ->
+        let open Lrc.Dsm in
+        barrier node;
+        if pid node = 0 then write_int_at node base 0 9
+        else ignore (read_int_at node base 0);
+        barrier node);
+  }
+
+let partially_locked =
+  (* The lock protects two of the three participants; the third touches
+     the same word unsynchronized. The ordered pair must be suppressed
+     and the unordered pairs reported — on exactly one address. *)
+  {
+    k_name = "partially-locked";
+    k_nprocs = 3;
+    k_pages = 2;
+    k_words = wpp;
+    k_cfg = Fun.id;
+    k_body =
+      (fun ~base node ->
+        let open Lrc.Dsm in
+        barrier node;
+        if pid node < 2 then
+          with_lock node 3 (fun () ->
+              let v = read_int_at node base 0 in
+              write_int_at node base 0 (v + 1))
+        else write_int_at node base 0 100;
+        barrier node);
+  }
+
+let kernels =
+  [
+    diff_cache_reuse;
+    gc_interval_rerequest;
+    write_notice_invalid_page;
+    lock_handoff_chain;
+    lock_chained_publish;
+    false_sharing_writers;
+    true_sharing_overlap;
+    multi_reader_race;
+    partially_locked;
+  ]

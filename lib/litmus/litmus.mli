@@ -48,3 +48,43 @@ val coherence_rr : test
 (** Per-location coherence forbids reading x backwards. *)
 
 val all : test list
+
+(** {1 Protocol-stress kernels}
+
+    Small pointed programs aimed at the protocol core's hot paths: diff
+    caching, interval GC, repeated write notices against invalid pages,
+    lock handoff chains, and false/true sharing at barriers. Each runs
+    with detection on and a recorded access trace, so tests can require
+    the online detector and the offline oracle to agree exactly. Kernels
+    self-check the values they read and raise on any wrong answer. *)
+
+type kernel = {
+  k_name : string;
+  k_nprocs : int;
+  k_pages : int;
+  k_words : int;
+  k_cfg : Lrc.Config.t -> Lrc.Config.t;
+  k_body : base:int -> Lrc.Dsm.node -> unit;
+}
+
+type kernel_outcome = {
+  detected : int list;  (** racy addresses the online detector reported *)
+  oracle : int list;  (** racy addresses from the offline happens-before oracle *)
+  checksum : int;
+}
+
+val run_kernel : ?protocol:Lrc.Config.protocol -> kernel -> kernel_outcome
+(** One deterministic execution under the given protocol (default
+    multi-writer, the protocol whose machinery the kernels stress). *)
+
+val diff_cache_reuse : kernel
+val gc_interval_rerequest : kernel
+val write_notice_invalid_page : kernel
+val lock_handoff_chain : kernel
+val lock_chained_publish : kernel
+val false_sharing_writers : kernel
+val true_sharing_overlap : kernel
+val multi_reader_race : kernel
+val partially_locked : kernel
+
+val kernels : kernel list

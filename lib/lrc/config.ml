@@ -40,6 +40,13 @@ type t = {
          retransmission) between the DSM and the wire *)
   watchdog_ns : int option;
       (* virtual-time stall budget for the engine's deadlock watchdog *)
+  gc_epochs : int option;
+      (* interval garbage collection (TreadMarks-style lineage GC): every k
+         barrier epochs, validate all invalid pages (forcing the pending
+         diffs to be fetched) and, one barrier later, drop the diffs no
+         reachable write notice can request any more. Bounds diff storage
+         on long multi-writer runs at the cost of extra validation traffic.
+         None (the default) keeps every diff for the whole run. *)
   net_seed : int option;
       (* separate seed for the network RNGs (jitter + faults); defaults
          to [seed] so existing runs are unchanged *)
@@ -62,6 +69,7 @@ let default =
     fault = Sim.Fault.none;
     transport = None;
     watchdog_ns = None;
+    gc_epochs = None;
     net_seed = None;
     tracer = None;
   }

@@ -45,6 +45,11 @@ type t = {
       (** virtual-time stall budget: if this many simulated nanoseconds
           pass without any process making progress, the run aborts with a
           structured {!Sim.Engine.Deadlock} diagnosis *)
+  gc_epochs : int option;
+      (** interval garbage collection (TreadMarks-style lineage GC): every
+          [k] barrier epochs, validate all invalid pages and, one barrier
+          later, drop the diffs no reachable write notice can request any
+          more. [None] (the default) retains every diff for the run. *)
   net_seed : int option;
       (** separate seed for the network RNG streams (jitter and fault
           plan); [None] derives them from [seed] *)

@@ -14,13 +14,10 @@ let malloc node ?name ?align bytes = Node.malloc node ?name ?align bytes
 let read_int64 node ?site addr = Node.read_word node ?site addr
 let write_int64 node ?site addr value = Node.write_word node ?site addr value
 
-let read_float node ?site addr = Int64.float_of_bits (Node.read_word node ?site addr)
-
-let write_float node ?site addr value =
-  Node.write_word node ?site addr (Int64.bits_of_float value)
-
-let read_int node ?site addr = Int64.to_int (Node.read_word node ?site addr)
-let write_int node ?site addr value = Node.write_word node ?site addr (Int64.of_int value)
+let read_float node ?site addr = Node.read_word_float node ?site addr
+let write_float node ?site addr value = Node.write_word_float node ?site addr value
+let read_int node ?site addr = Node.read_word_int node ?site addr
+let write_int node ?site addr value = Node.write_word_int node ?site addr value
 
 let lock = Node.lock
 let unlock = Node.unlock

@@ -94,23 +94,44 @@ type t = {
   mutable epoch : int;
   log : (Proto.Interval.id, Proto.Interval.t) Hashtbl.t;
   applied : (Proto.Interval.id, unit) Hashtbl.t;  (* notices already applied *)
-  mutable live : Proto.Interval.t list;  (* recent intervals, for vc diffs *)
+  max_seen : int array;  (* per-proc highest interval index present in [log] *)
   mutable my_closed : Proto.Interval.t list;  (* own closed, this epoch *)
   pages : page_entry array;
   mutable rw_pages : int list;  (* pages currently P_write (for downgrade) *)
   locks : (int, lock_local) Hashtbl.t;
-  (* instrumentation: current interval's word-level access bitmaps *)
+  (* instrumentation: current interval's word-level access bitmaps. The
+     hashtables are authoritative (their iteration order fixes the order
+     of read-notice emission in [snapshot_bitmaps]); the arrays are O(1)
+     per-access handles onto the same bitmaps. *)
   read_bits : (int, Mem.Bitmap.t) Hashtbl.t;
   write_bits : (int, Mem.Bitmap.t) Hashtbl.t;
+  read_cache : Mem.Bitmap.t option array;
+  write_cache : Mem.Bitmap.t option array;
   bitmap_store : (Proto.Interval.id * int, Racedetect.Detector.bitmap_pair) Hashtbl.t;
-  diff_store : (Proto.Interval.id * int, Mem.Diff.t) Hashtbl.t;
+  (* diffs tagged with the creating interval's epoch, for interval GC *)
+  diff_store : (Proto.Interval.id * int, Mem.Diff.t * int) Hashtbl.t;
+  mutable gc_drop_bound : int;
+      (* two-phase diff GC: epoch bound recorded at the last validate
+         barrier, executed (diffs with creation epoch < bound dropped) at
+         the next one; -1 when no drop is scheduled *)
+  (* precomputed shift/mask address geometry, valid when [g_fast] (page
+     and word sizes both powers of two, base page-aligned) *)
+  g_fast : bool;
+  g_base : int;
+  g_limit : int;
+  g_page_shift : int;
+  g_page_mask : int;
+  g_word_shift : int;
+  g_word_mask : int;
   (* section 6.1 single-run site retention: (page, word, kind) -> site for
      the current interval, snapshotted per closed interval and KEPT for
      the whole run — the storage cost the paper calls prohibitive *)
   cur_sites : (int * int * Proto.Race.access_kind, string) Hashtbl.t;
   site_store : (Proto.Interval.id * int * int * Proto.Race.access_kind, string) Hashtbl.t;
   mutable replies : Message.t list;  (* replies awaited by the app coroutine *)
-  mutable debt : float;  (* accumulated local compute time not yet advanced *)
+  debt : float array;
+      (* accumulated local compute time not yet advanced; a 1-element float
+         array so the several updates per access stay unboxed *)
   mutable alloc_next : int;  (* bump allocator over the shared segment *)
   mutable access_observer :
     (site:string -> addr:int -> Proto.Race.access_kind -> unit) option;
@@ -132,16 +153,17 @@ let words_per_page t = Mem.Geometry.words_per_page t.rt.geometry
 (* ------------------------------------------------------------------ *)
 (* Time accounting                                                     *)
 
-let charge_local t ns = t.debt <- t.debt +. ns
+let charge_local t ns = Array.unsafe_set t.debt 0 (Array.unsafe_get t.debt 0 +. ns)
 
 let charge_category t category ns =
   Sim.Stats.charge t.rt.stats category ns;
   charge_local t ns
 
 let flush_time t =
-  if t.debt >= 1.0 then begin
-    let ns = int_of_float t.debt in
-    t.debt <- t.debt -. float_of_int ns;
+  let debt = Array.unsafe_get t.debt 0 in
+  if debt >= 1.0 then begin
+    let ns = int_of_float debt in
+    Array.unsafe_set t.debt 0 (debt -. float_of_int ns);
     Sim.Engine.advance ns
   end
 
@@ -153,6 +175,15 @@ let emit_trace t event =
     t.rt.trace := (t.id, event) :: !(t.rt.trace);
     t.rt.timed := (Sim.Engine.now t.rt.engine, t.id, event) :: !(t.rt.timed)
   end
+
+(* Access-path variants that only construct the event when a trace is
+   actually being recorded (the constructor argument to [emit_trace] would
+   otherwise allocate on every shared access). *)
+let trace_read t addr =
+  if t.rt.cfg.Config.record_trace then emit_trace t (Racedetect.Oracle.Read addr)
+
+let trace_write t addr =
+  if t.rt.cfg.Config.record_trace then emit_trace t (Racedetect.Oracle.Write addr)
 
 (* Record/replay sink: protocol-level events carry context (vector clocks,
    interval ids, page lists) the sim layer's probe cannot see, so they are
@@ -253,6 +284,11 @@ let snapshot_bitmaps t interval =
       t.rt.stats.Sim.Stats.bitmaps_total <- t.rt.stats.Sim.Stats.bitmaps_total + 1;
       charge_category t Sim.Stats.Cvm_mods t.rt.cost.Sim.Cost.notice_setup_ns)
     pages;
+  Hashtbl.iter
+    (fun page () ->
+      Array.unsafe_set t.read_cache page None;
+      Array.unsafe_set t.write_cache page None)
+    pages;
   Hashtbl.reset t.read_bits;
   Hashtbl.reset t.write_bits;
   if t.rt.cfg.Config.retain_sites then begin
@@ -281,7 +317,7 @@ let make_diffs t interval =
           if debug_enabled then
             debug_event t ~page "close diff p%d.%d (%d words)" id.Proto.Interval.proc
               id.Proto.Interval.index (Mem.Diff.word_count diff);
-          Hashtbl.replace t.diff_store (id, page) diff;
+          Hashtbl.replace t.diff_store (id, page) (diff, interval.Proto.Interval.epoch);
           t.rt.stats.Sim.Stats.diffs_created <- t.rt.stats.Sim.Stats.diffs_created + 1;
           t.rt.stats.Sim.Stats.diff_words <-
             t.rt.stats.Sim.Stats.diff_words + Mem.Diff.word_count diff;
@@ -361,22 +397,23 @@ let open_interval t =
   in
   t.cur <- interval;
   Hashtbl.replace t.log (Proto.Interval.id interval) interval;
-  t.live <- interval :: t.live;
+  t.max_seen.(t.id) <- index;
   if tracing t then
     emit_sink t (Trace.Event.Interval_open { proc = t.id; index; epoch = t.epoch });
   t.rt.stats.Sim.Stats.intervals_created <- t.rt.stats.Sim.Stats.intervals_created + 1;
   charge_local t t.rt.cost.Sim.Cost.interval_setup_ns
 
 let learn t interval =
-  (* Handler-safe half of incorporation: record the interval in the log
-     and the live set. No page effects — those belong to the learning
-     node's own NEXT synchronization point, not to the moment a message
-     happens to arrive (the barrier master receives arrivals while its own
-     interval is still open; invalidating mid-interval corrupts twins). *)
+  (* Handler-safe half of incorporation: record the interval in the log.
+     No page effects — those belong to the learning node's own NEXT
+     synchronization point, not to the moment a message happens to arrive
+     (the barrier master receives arrivals while its own interval is still
+     open; invalidating mid-interval corrupts twins). *)
   let id = Proto.Interval.id interval in
   if not (Hashtbl.mem t.log id) then begin
     Hashtbl.replace t.log id interval;
-    t.live <- interval :: t.live
+    if id.Proto.Interval.index > t.max_seen.(id.Proto.Interval.proc) then
+      t.max_seen.(id.Proto.Interval.proc) <- id.Proto.Interval.index
   end
 
 let apply_notices t interval =
@@ -414,16 +451,28 @@ let incorporate t interval =
 let unseen_intervals t ~upto ~requester_vc =
   (* Intervals the requester has not seen, limited to what [upto] covers
      (the granter's knowledge at its release — exact LRC, no conservative
-     extra edges, so the online detector and the offline oracle agree). *)
-  List.filter
-    (fun interval ->
-      let { Proto.Interval.proc; index } = Proto.Interval.id interval in
-      interval.Proto.Interval.closed
-      && Proto.Vclock.get upto proc >= index
-      && Proto.Vclock.get requester_vc proc < index)
-    t.live
-  |> List.sort_uniq (fun a b ->
-         Proto.Interval.compare_ids (Proto.Interval.id a) (Proto.Interval.id b))
+     extra edges, so the online detector and the offline oracle agree).
+
+     Indexed walk over the interval log: only indices in the per-processor
+     window (requester_vc, min(upto, max_seen)] can qualify, so the cost is
+     the window size, not the number of intervals retained. Descending
+     loops with prepends reproduce the ascending (proc, index) order the
+     earlier sort-based implementation produced. Intervals pruned from the
+     log are provably below every such window: their epoch predates the
+     last barrier, whose merged clock every requester has since merged. *)
+  let acc = ref [] in
+  for proc = t.nprocs - 1 downto 0 do
+    let hi =
+      let u = Proto.Vclock.get upto proc and m = Array.unsafe_get t.max_seen proc in
+      if u < m then u else m
+    in
+    for index = hi downto Proto.Vclock.get requester_vc proc + 1 do
+      match Hashtbl.find_opt t.log { Proto.Interval.proc; index } with
+      | Some interval when interval.Proto.Interval.closed -> acc := interval :: !acc
+      | _ -> ()
+    done
+  done;
+  !acc
 
 (* ------------------------------------------------------------------ *)
 (* Application-side blocking RPC plumbing                              *)
@@ -521,8 +570,9 @@ and finish_sw_write_fault t page =
 
 let mw_apply_pending t page =
   let entry = t.pages.(page) in
-  let pending = List.sort_uniq Proto.Interval.compare_ids entry.pending in
-  if pending <> [] then begin
+  (match List.sort_uniq Proto.Interval.compare_ids entry.pending with
+  | [] -> ()
+  | pending ->
     t.rt.stats.Sim.Stats.read_faults <- t.rt.stats.Sim.Stats.read_faults + 1;
     emit_sink t (Trace.Event.Page_fault { proc = t.id; page; kind = Proto.Race.Read });
     fault_prologue t;
@@ -575,8 +625,7 @@ let mw_apply_pending t page =
     Sim.Engine.advance_f
       (t.rt.cost.Sim.Cost.diff_word_ns
       *. float_of_int (List.fold_left (fun acc (_, d) -> acc + Mem.Diff.word_count d) 0 ordered));
-    entry.pending <- []
-  end;
+    entry.pending <- []);
   entry.state <- P_read
 
 let mw_write_fault t page =
@@ -632,13 +681,19 @@ let instrument_access t page word kind ~site =
      that decides shared vs private and sets the per-page bitmap bit. *)
   charge_category t Sim.Stats.Proc_call t.rt.cost.Sim.Cost.proc_call_ns;
   charge_category t Sim.Stats.Access_check t.rt.cost.Sim.Cost.access_check_ns;
-  let table = match kind with Proto.Race.Read -> t.read_bits | Proto.Race.Write -> t.write_bits in
+  let cache =
+    match kind with Proto.Race.Read -> t.read_cache | Proto.Race.Write -> t.write_cache
+  in
   let bitmap =
-    match Hashtbl.find_opt table page with
+    match Array.unsafe_get cache page with
     | Some bm -> bm
     | None ->
         let bm = Mem.Bitmap.create (words_per_page t) in
+        let table =
+          match kind with Proto.Race.Read -> t.read_bits | Proto.Race.Write -> t.write_bits
+        in
         Hashtbl.replace table page bm;
+        Array.unsafe_set cache page (Some bm);
         bm
   in
   Mem.Bitmap.set bitmap word;
@@ -649,93 +704,180 @@ let instrument_access t page word kind ~site =
     if not (Hashtbl.mem t.cur_sites key) then Hashtbl.replace t.cur_sites key site
   end
 
+let bad_shared addr =
+  invalid_arg (Printf.sprintf "Node: address 0x%x outside the shared segment" addr)
+
+let bad_aligned addr = invalid_arg (Printf.sprintf "Node: unaligned shared access 0x%x" addr)
+
 let check_addr t addr =
-  if not (Mem.Geometry.in_shared t.rt.geometry addr) then
-    invalid_arg (Printf.sprintf "Node: address 0x%x outside the shared segment" addr);
-  if addr mod t.rt.geometry.Mem.Geometry.word_size <> 0 then
-    invalid_arg (Printf.sprintf "Node: unaligned shared access 0x%x" addr)
+  if t.g_fast then begin
+    if addr < t.g_base || addr >= t.g_limit then bad_shared addr;
+    if addr land t.g_word_mask <> 0 then bad_aligned addr
+  end
+  else begin
+    if not (Mem.Geometry.in_shared t.rt.geometry addr) then bad_shared addr;
+    if addr mod t.rt.geometry.Mem.Geometry.word_size <> 0 then bad_aligned addr
+  end
+
+(* Page/word of a checked address: shifts and masks on the fast path, the
+   division-based {!Mem.Geometry} functions otherwise. *)
+let page_of t addr =
+  if t.g_fast then (addr - t.g_base) lsr t.g_page_shift
+  else Mem.Geometry.page_of_addr t.rt.geometry addr
+
+let word_of t addr =
+  if t.g_fast then (addr land t.g_page_mask) lsr t.g_word_shift
+  else Mem.Geometry.word_in_page t.rt.geometry addr
 
 let observe t ~site ~addr kind =
   match t.access_observer with
   | Some f -> f ~site ~addr kind
   | None -> ()
 
-let read_word t ?(site = "?") addr =
-  check_addr t addr;
-  let page = Mem.Geometry.page_of_addr t.rt.geometry addr in
-  let word = Mem.Geometry.word_in_page t.rt.geometry addr in
+(* Shared prologue of every read/write: cost charge, statistics,
+   instrumentation, watch-mode observation, oracle trace. *)
+let read_note t ~site addr page word =
   charge_local t t.rt.cost.Sim.Cost.instr_ns;
   t.rt.stats.Sim.Stats.shared_reads <- t.rt.stats.Sim.Stats.shared_reads + 1;
   if detect_on t then instrument_access t page word Proto.Race.Read ~site;
   observe t ~site ~addr Proto.Race.Read;
-  emit_trace t (Racedetect.Oracle.Read addr);
-  let entry = t.pages.(page) in
-  let value =
-    match t.rt.cfg.Config.protocol with
-    | Config.Seq_consistent ->
-        if t.id = 0 then Mem.Page.get_int64 entry.data word
-        else begin
-          flush_time t;
-          send t ~dst:0 (Message.Sc_read_req { addr; requester = t.id });
-          let reply =
-            await_reply t ~label:"sc read" (function
-              | Message.Sc_read_reply { addr = a; _ } -> a = addr
-              | _ -> false)
-          in
-          match reply with
-          | Message.Sc_read_reply { value; _ } -> value
-          | _ -> assert false
-        end
-    | Config.Single_writer ->
-        if entry.state = P_invalid then sw_read_fault t page;
-        Mem.Page.get_int64 entry.data word
-    | Config.Multi_writer ->
-        if entry.state = P_invalid then mw_apply_pending t page;
-        Mem.Page.get_int64 entry.data word
-    | Config.Home_based ->
-        if entry.state = P_invalid then hb_read_fault t page;
-        Mem.Page.get_int64 entry.data word
-  in
-  value
+  trace_read t addr
 
-let write_word t ?(site = "?") addr value =
-  check_addr t addr;
-  let page = Mem.Geometry.page_of_addr t.rt.geometry addr in
-  let word = Mem.Geometry.word_in_page t.rt.geometry addr in
+let write_note t ~site addr page word =
   charge_local t t.rt.cost.Sim.Cost.instr_ns;
   t.rt.stats.Sim.Stats.shared_writes <- t.rt.stats.Sim.Stats.shared_writes + 1;
   if detect_on t && not (stores_from_diffs t) then
     instrument_access t page word Proto.Race.Write ~site;
   observe t ~site ~addr Proto.Race.Write;
-  emit_trace t (Racedetect.Oracle.Write addr);
-  let entry = t.pages.(page) in
-  (match t.rt.cfg.Config.protocol with
-  | Config.Seq_consistent ->
-      if t.id = 0 then begin
-        Mem.Page.set_int64 entry.data word value;
-        Proto.Interval.add_write_page t.cur page
-      end
-      else begin
-        flush_time t;
-        send t ~dst:0 (Message.Sc_write_req { addr; value; requester = t.id });
-        let _ack =
-          await_reply t ~label:"sc write" (function
-            | Message.Sc_write_ack { addr = a } -> a = addr
-            | _ -> false)
-        in
-        Proto.Interval.add_write_page t.cur page
-      end
-  | Config.Single_writer ->
-      if entry.state <> P_write then sw_write_fault t page;
+  trace_write t addr
+
+(* For the caching protocols: resolve any fault so [entry.data] holds a
+   coherent copy the access may touch. *)
+let ensure_readable t page entry =
+  match t.rt.cfg.Config.protocol with
+  | Config.Single_writer -> (
+      match entry.state with P_invalid -> sw_read_fault t page | P_read | P_write -> ())
+  | Config.Multi_writer -> (
+      match entry.state with P_invalid -> mw_apply_pending t page | P_read | P_write -> ())
+  | Config.Home_based -> (
+      match entry.state with P_invalid -> hb_read_fault t page | P_read | P_write -> ())
+  | Config.Seq_consistent -> ()
+
+let ensure_writable t page entry =
+  match t.rt.cfg.Config.protocol with
+  | Config.Single_writer -> (
+      match entry.state with P_write -> () | P_invalid | P_read -> sw_write_fault t page)
+  | Config.Multi_writer -> (
+      match entry.state with P_write -> () | P_invalid | P_read -> mw_write_fault t page)
+  | Config.Home_based -> (
+      match entry.state with P_write -> () | P_invalid | P_read -> hb_write_fault t page)
+  | Config.Seq_consistent -> ()
+
+let sc_read t entry word addr =
+  if t.id = 0 then Mem.Page.get_int64 entry.data word
+  else begin
+    flush_time t;
+    send t ~dst:0 (Message.Sc_read_req { addr; requester = t.id });
+    let reply =
+      await_reply t ~label:"sc read" (function
+        | Message.Sc_read_reply { addr = a; _ } -> a = addr
+        | _ -> false)
+    in
+    match reply with Message.Sc_read_reply { value; _ } -> value | _ -> assert false
+  end
+
+let sc_write t entry page word addr value =
+  if t.id = 0 then begin
+    Mem.Page.set_int64 entry.data word value;
+    Proto.Interval.add_write_page t.cur page
+  end
+  else begin
+    flush_time t;
+    send t ~dst:0 (Message.Sc_write_req { addr; value; requester = t.id });
+    let _ack =
+      await_reply t ~label:"sc write" (function
+        | Message.Sc_write_ack { addr = a } -> a = addr
+        | _ -> false)
+    in
+    Proto.Interval.add_write_page t.cur page
+  end
+
+let read_word t ?(site = "?") addr =
+  check_addr t addr;
+  let page = page_of t addr in
+  let word = word_of t addr in
+  read_note t ~site addr page word;
+  let entry = Array.unsafe_get t.pages page in
+  match t.rt.cfg.Config.protocol with
+  | Config.Seq_consistent -> sc_read t entry word addr
+  | _ ->
+      ensure_readable t page entry;
+      Mem.Page.get_int64 entry.data word
+
+let read_word_int t ?(site = "?") addr =
+  check_addr t addr;
+  let page = page_of t addr in
+  let word = word_of t addr in
+  read_note t ~site addr page word;
+  let entry = Array.unsafe_get t.pages page in
+  match t.rt.cfg.Config.protocol with
+  | Config.Seq_consistent -> Int64.to_int (sc_read t entry word addr)
+  | _ ->
+      ensure_readable t page entry;
+      Mem.Page.get_int entry.data word
+
+let read_word_float t ?(site = "?") addr =
+  check_addr t addr;
+  let page = page_of t addr in
+  let word = word_of t addr in
+  read_note t ~site addr page word;
+  let entry = Array.unsafe_get t.pages page in
+  match t.rt.cfg.Config.protocol with
+  | Config.Seq_consistent -> Int64.float_of_bits (sc_read t entry word addr)
+  | _ ->
+      ensure_readable t page entry;
+      Mem.Page.get_float entry.data word
+
+let write_word t ?(site = "?") addr value =
+  check_addr t addr;
+  let page = page_of t addr in
+  let word = word_of t addr in
+  write_note t ~site addr page word;
+  let entry = Array.unsafe_get t.pages page in
+  match t.rt.cfg.Config.protocol with
+  | Config.Seq_consistent -> sc_write t entry page word addr value
+  | _ ->
+      ensure_writable t page entry;
       Mem.Page.set_int64 entry.data word value;
       if debug_enabled then debug_event t ~page "write addr=0x%x val=%Ld" addr value
-  | Config.Multi_writer ->
-      if entry.state <> P_write then mw_write_fault t page;
-      Mem.Page.set_int64 entry.data word value
-  | Config.Home_based ->
-      if entry.state <> P_write then hb_write_fault t page;
-      Mem.Page.set_int64 entry.data word value);
-  ()
+
+let write_word_int t ?(site = "?") addr value =
+  check_addr t addr;
+  let page = page_of t addr in
+  let word = word_of t addr in
+  write_note t ~site addr page word;
+  let entry = Array.unsafe_get t.pages page in
+  match t.rt.cfg.Config.protocol with
+  | Config.Seq_consistent -> sc_write t entry page word addr (Int64.of_int value)
+  | _ ->
+      ensure_writable t page entry;
+      Mem.Page.set_int entry.data word value;
+      if debug_enabled then
+        debug_event t ~page "write addr=0x%x val=%Ld" addr (Int64.of_int value)
+
+let write_word_float t ?(site = "?") addr value =
+  check_addr t addr;
+  let page = page_of t addr in
+  let word = word_of t addr in
+  write_note t ~site addr page word;
+  let entry = Array.unsafe_get t.pages page in
+  match t.rt.cfg.Config.protocol with
+  | Config.Seq_consistent -> sc_write t entry page word addr (Int64.bits_of_float value)
+  | _ ->
+      ensure_writable t page entry;
+      Mem.Page.set_float entry.data word value;
+      if debug_enabled then
+        debug_event t ~page "write addr=0x%x val=%Ld" addr (Int64.bits_of_float value)
 
 let touch_private t n =
   (* n private accesses that survived static analysis: they pay the full
@@ -936,13 +1078,17 @@ let on_lock_req t msg =
 (* Barrier master (runs at processor 0, in handler context)            *)
 
 let closed_unseen t ~vc =
-  List.filter
-    (fun interval ->
-      let { Proto.Interval.proc; index } = Proto.Interval.id interval in
-      interval.Proto.Interval.closed && Proto.Vclock.get vc proc < index)
-    t.live
-  |> List.sort_uniq (fun a b ->
-         Proto.Interval.compare_ids (Proto.Interval.id a) (Proto.Interval.id b))
+  (* Same indexed walk as [unseen_intervals], with the master's whole
+     knowledge ([max_seen]) as the upper bound. *)
+  let acc = ref [] in
+  for proc = t.nprocs - 1 downto 0 do
+    for index = Array.unsafe_get t.max_seen proc downto Proto.Vclock.get vc proc + 1 do
+      match Hashtbl.find_opt t.log { Proto.Interval.proc; index } with
+      | Some interval when interval.Proto.Interval.closed -> acc := interval :: !acc
+      | _ -> ()
+    done
+  done;
+  !acc
 
 let master_finish_barrier t ~delay ~races =
   let b = t.barrier in
@@ -977,7 +1123,6 @@ let master_run_detection t =
     |> List.filter (fun iv -> iv.Proto.Interval.epoch = b.processing_epoch)
   in
   let before = stats.Sim.Stats.interval_comparisons in
-  let pairs = Racedetect.Detector.concurrent_pairs ~stats epoch_intervals in
   let probe =
     if tracing t then
       Some
@@ -985,11 +1130,13 @@ let master_run_detection t =
           emit_sink t (Trace.Event.Check_entry { a = e.a; b = e.b; pages = e.pages }))
     else None
   in
-  let entries = Racedetect.Detector.check_list ~stats ?probe pairs in
+  let n_concurrent, entries =
+    Racedetect.Detector.concurrent_check_list ~stats ?probe epoch_intervals
+  in
   let comparisons = stats.Sim.Stats.interval_comparisons - before in
   let intervals_ns =
     (cost.Sim.Cost.vv_compare_ns *. float_of_int comparisons)
-    +. (200.0 *. float_of_int (List.length pairs))
+    +. (200.0 *. float_of_int n_concurrent)
   in
   Sim.Stats.charge stats Sim.Stats.Intervals intervals_ns;
   let delay = int_of_float intervals_ns in
@@ -1070,6 +1217,69 @@ let master_on_bitmap_reply t ~bitmaps =
 (* ------------------------------------------------------------------ *)
 (* Barrier (application side)                                          *)
 
+let prune_intervals t =
+  (* Trace-neutral history pruning, run after every barrier: a log entry
+     older than the previous epoch can never be requested again, because
+     every vc window a requester can present is bounded below by the last
+     barrier's merged clock, which covers all such intervals. Entries still
+     named by a page's pending write notices are retained — the
+     happens-before sort in [mw_apply_pending] consults them. *)
+  let floor = t.epoch - 1 in
+  let pinned = Hashtbl.create 16 in
+  Array.iter
+    (fun entry ->
+      match entry.pending with
+      | [] -> ()
+      | pending -> List.iter (fun id -> Hashtbl.replace pinned id ()) pending)
+    t.pages;
+  let doomed =
+    Hashtbl.fold
+      (fun id (interval : Proto.Interval.t) acc ->
+        if interval.Proto.Interval.epoch < floor && not (Hashtbl.mem pinned id) then
+          id :: acc
+        else acc)
+      t.log []
+  in
+  List.iter
+    (fun id ->
+      Hashtbl.remove t.log id;
+      Hashtbl.remove t.applied id)
+    doomed
+
+let gc_diffs t =
+  (* Interval garbage collection (TreadMarks-style lineage GC), gated on
+     [Config.gc_epochs]. Two phases, one barrier apart: at every k-th
+     epoch boundary each node validates its invalid pages — forcing every
+     pending diff to be fetched now — and schedules a drop; at the next
+     barrier the diffs whose creating epoch predates that validation are
+     dropped. A diff can still be requested between the validation and the
+     drop (the requester cannot reach the dropping node's next barrier
+     before its own validation fetches complete), which is why the drop
+     waits a barrier. *)
+  match t.rt.cfg.Config.gc_epochs with
+  | None -> ()
+  | Some k when k <= 0 -> ()
+  | Some k ->
+      if t.gc_drop_bound >= 0 then begin
+        let bound = t.gc_drop_bound in
+        t.gc_drop_bound <- -1;
+        let doomed =
+          Hashtbl.fold
+            (fun key (_, epoch) acc -> if epoch < bound then key :: acc else acc)
+            t.diff_store []
+        in
+        List.iter (Hashtbl.remove t.diff_store) doomed;
+        t.rt.stats.Sim.Stats.diffs_gced <-
+          t.rt.stats.Sim.Stats.diffs_gced + List.length doomed
+      end;
+      if t.epoch mod k = 0 && t.rt.cfg.Config.protocol = Config.Multi_writer then begin
+        Array.iteri
+          (fun page entry ->
+            match entry.pending with [] -> () | _ -> mw_apply_pending t page)
+          t.pages;
+        t.gc_drop_bound <- t.epoch
+      end
+
 let barrier t =
   flush_time t;
   let entered_epoch = t.epoch in
@@ -1098,7 +1308,8 @@ let barrier t =
           (Trace.Event.Barrier_leave
              { proc = t.id; epoch = entered_epoch; vc = Proto.Vclock.copy t.vc });
       Hashtbl.reset t.bitmap_store;
-      t.live <- List.filter (fun iv -> iv.Proto.Interval.epoch >= t.epoch - 1) t.live
+      prune_intervals t;
+      gc_diffs t
   | _ -> assert false
 
 (* ------------------------------------------------------------------ *)
@@ -1202,7 +1413,7 @@ let on_diff_req t ~page ~ids ~requester =
     List.map
       (fun id ->
         match Hashtbl.find_opt t.diff_store (id, page) with
-        | Some diff -> (id, diff)
+        | Some (diff, _epoch) -> (id, diff)
         | None ->
             invalid_arg
               (Printf.sprintf "Node %d: no diff for page %d interval p%d.%d" t.id page
@@ -1308,6 +1519,17 @@ let retained_site t ~interval ~page ~word ~kind =
 
 let create rt ~id ~nprocs =
   let geometry = rt.geometry in
+  let page_size = geometry.Mem.Geometry.page_size in
+  let word_size = geometry.Mem.Geometry.word_size in
+  let is_pow2 n = n > 0 && n land (n - 1) = 0 in
+  let shift_of n =
+    let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+    go 0 n
+  in
+  let g_fast =
+    is_pow2 page_size && is_pow2 word_size
+    && geometry.Mem.Geometry.base land (page_size - 1) = 0
+  in
   let pages =
     Array.init geometry.Mem.Geometry.pages (fun _ ->
         {
@@ -1332,19 +1554,29 @@ let create rt ~id ~nprocs =
       epoch = 0;
       log = Hashtbl.create 64;
       applied = Hashtbl.create 64;
-      live = [];
+      max_seen = Array.make nprocs 0;
       my_closed = [];
       pages;
       rw_pages = [];
       locks = Hashtbl.create 8;
       read_bits = Hashtbl.create 16;
       write_bits = Hashtbl.create 16;
+      read_cache = Array.make geometry.Mem.Geometry.pages None;
+      write_cache = Array.make geometry.Mem.Geometry.pages None;
       bitmap_store = Hashtbl.create 64;
       diff_store = Hashtbl.create 64;
+      gc_drop_bound = -1;
+      g_fast;
+      g_base = geometry.Mem.Geometry.base;
+      g_limit = Mem.Geometry.limit geometry;
+      g_page_shift = (if g_fast then shift_of page_size else 0);
+      g_page_mask = page_size - 1;
+      g_word_shift = (if g_fast then shift_of word_size else 0);
+      g_word_mask = word_size - 1;
       cur_sites = Hashtbl.create 64;
       site_store = Hashtbl.create 256;
       replies = [];
-      debt = 0.0;
+      debt = Array.make 1 0.0;
       alloc_next = geometry.Mem.Geometry.base;
       access_observer = None;
       page_mgrs =

@@ -45,6 +45,17 @@ val read_word : t -> ?site:string -> int -> int64
 
 val write_word : t -> ?site:string -> int -> int64 -> unit
 
+val read_word_int : t -> ?site:string -> int -> int
+(** Same access, with the value as [Int64.to_int] of the word — the fast
+    path for integer programs: no boxed int64 is materialized. *)
+
+val write_word_int : t -> ?site:string -> int -> int -> unit
+
+val read_word_float : t -> ?site:string -> int -> float
+(** Same access, with the word interpreted as a float bit pattern. *)
+
+val write_word_float : t -> ?site:string -> int -> float -> unit
+
 val compute : t -> float -> unit
 (** Model [ops] abstract instructions of private computation. *)
 

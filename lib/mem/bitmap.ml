@@ -1,12 +1,23 @@
 (* Per-page access bitmaps: one bit per word of a page, recording which
    words an interval read or wrote. These are the structures the detector
-   compares at barriers to distinguish false sharing from true races. *)
+   compares at barriers to distinguish false sharing from true races.
 
-type t = { bits : Bytes.t; nbits : int }
+   Backed by an [int array] of 63-bit words so that union, intersection
+   and emptiness tests run one machine operation per 63 bits instead of
+   per bit or per byte. The wire size charged to the simulation
+   ([size_bytes]) stays the packed (nbits+7)/8 of the byte encoding: the
+   backing store is a host-side concern and must not change simulated
+   message sizes. *)
+
+type t = { words : int array; nbits : int }
+
+let bits_per_word = 63
+
+let word_count nbits = (nbits + bits_per_word - 1) / bits_per_word
 
 let create nbits =
   if nbits < 0 then invalid_arg "Bitmap.create";
-  { bits = Bytes.make ((nbits + 7) / 8) '\000'; nbits }
+  { words = Array.make (word_count nbits) 0; nbits }
 
 let length t = t.nbits
 
@@ -14,81 +25,100 @@ let check_index t i = if i < 0 || i >= t.nbits then invalid_arg "Bitmap: index o
 
 let set t i =
   check_index t i;
-  let byte = i lsr 3 and bit = i land 7 in
-  Bytes.unsafe_set t.bits byte
-    (Char.unsafe_chr (Char.code (Bytes.unsafe_get t.bits byte) lor (1 lsl bit)))
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  Array.unsafe_set t.words w (Array.unsafe_get t.words w lor (1 lsl b))
 
 let get t i =
   check_index t i;
-  Char.code (Bytes.unsafe_get t.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+  Array.unsafe_get t.words (i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0
 
-let clear_all t = Bytes.fill t.bits 0 (Bytes.length t.bits) '\000'
+let clear_all t = Array.fill t.words 0 (Array.length t.words) 0
 
 let any_set t =
-  let n = Bytes.length t.bits in
-  let rec scan i = i < n && (Bytes.unsafe_get t.bits i <> '\000' || scan (i + 1)) in
+  let n = Array.length t.words in
+  let rec scan i = i < n && (Array.unsafe_get t.words i <> 0 || scan (i + 1)) in
   scan 0
 
 let is_empty t = not (any_set t)
 
-let popcount_byte c =
-  let rec count n acc = if n = 0 then acc else count (n lsr 1) (acc + (n land 1)) in
-  count (Char.code c) 0
+(* 64-bit SWAR popcount; sound for 63-bit payloads (the byte sums top out
+   at 63, well inside the high byte the final shift extracts). *)
+let popcount x =
+  let x = x - ((x lsr 1) land 0x5555555555555555) in
+  let x = (x land 0x3333333333333333) + ((x lsr 2) land 0x3333333333333333) in
+  let x = (x + (x lsr 4)) land 0x0f0f0f0f0f0f0f0f in
+  (x * 0x0101010101010101) lsr 56
 
-let cardinal t =
-  let total = ref 0 in
-  Bytes.iter (fun c -> total := !total + popcount_byte c) t.bits;
-  !total
+let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
 
 let same_length a b =
   if a.nbits <> b.nbits then invalid_arg "Bitmap: length mismatch"
 
 let intersects a b =
   same_length a b;
-  let n = Bytes.length a.bits in
+  let n = Array.length a.words in
   let rec scan i =
-    i < n
-    && (Char.code (Bytes.unsafe_get a.bits i) land Char.code (Bytes.unsafe_get b.bits i) <> 0
-       || scan (i + 1))
+    i < n && (Array.unsafe_get a.words i land Array.unsafe_get b.words i <> 0 || scan (i + 1))
   in
   scan 0
 
 let inter_indices a b =
   same_length a b;
   let hits = ref [] in
-  for i = a.nbits - 1 downto 0 do
-    if get a i && get b i then hits := i :: !hits
+  for w = Array.length a.words - 1 downto 0 do
+    let x = Array.unsafe_get a.words w land Array.unsafe_get b.words w in
+    if x <> 0 then begin
+      let base = w * bits_per_word in
+      for b = bits_per_word - 1 downto 0 do
+        if x land (1 lsl b) <> 0 then hits := (base + b) :: !hits
+      done
+    end
   done;
   !hits
 
 let inter a b =
   same_length a b;
   let out = create a.nbits in
-  for i = 0 to Bytes.length a.bits - 1 do
-    Bytes.unsafe_set out.bits i
-      (Char.unsafe_chr
-         (Char.code (Bytes.unsafe_get a.bits i) land Char.code (Bytes.unsafe_get b.bits i)))
+  for i = 0 to Array.length a.words - 1 do
+    Array.unsafe_set out.words i (Array.unsafe_get a.words i land Array.unsafe_get b.words i)
   done;
   out
 
 let union_into ~dst src =
   same_length dst src;
-  for i = 0 to Bytes.length dst.bits - 1 do
-    Bytes.unsafe_set dst.bits i
-      (Char.unsafe_chr
-         (Char.code (Bytes.unsafe_get dst.bits i) lor Char.code (Bytes.unsafe_get src.bits i)))
+  for i = 0 to Array.length dst.words - 1 do
+    Array.unsafe_set dst.words i (Array.unsafe_get dst.words i lor Array.unsafe_get src.words i)
   done
 
 let iter_set t f =
-  for i = 0 to t.nbits - 1 do
-    if get t i then f i
+  for w = 0 to Array.length t.words - 1 do
+    let x = Array.unsafe_get t.words w in
+    if x <> 0 then begin
+      let base = w * bits_per_word in
+      for b = 0 to bits_per_word - 1 do
+        if x land (1 lsl b) <> 0 then f (base + b)
+      done
+    end
   done
 
-let copy t = { bits = Bytes.copy t.bits; nbits = t.nbits }
+let copy t = { words = Array.copy t.words; nbits = t.nbits }
 
-let size_bytes t = Bytes.length t.bits
+(* wire size when shipped: the packed byte encoding, independent of the
+   word-array backing *)
+let size_bytes t = (t.nbits + 7) / 8
 
-let set_indices t = List.of_seq (Seq.filter (get t) (Seq.init t.nbits Fun.id))
+let set_indices t =
+  let hits = ref [] in
+  for w = Array.length t.words - 1 downto 0 do
+    let x = Array.unsafe_get t.words w in
+    if x <> 0 then begin
+      let base = w * bits_per_word in
+      for b = bits_per_word - 1 downto 0 do
+        if x land (1 lsl b) <> 0 then hits := (base + b) :: !hits
+      done
+    end
+  done;
+  !hits
 
 let pp ppf t =
   Format.fprintf ppf "{%s}" (String.concat "," (List.map string_of_int (set_indices t)))

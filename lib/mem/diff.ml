@@ -2,16 +2,36 @@
    multi-writer mode): the per-page summary of modifications made during an
    interval, computed by comparing the page against its twin. *)
 
-type t = { page : int; words : int array; values : int64 array }
+(* [values] is a flat byte blob, 8 bytes per changed word in [words]
+   order: creating and applying a diff is pure byte movement, with no
+   per-word boxed int64 (pages only support 8-byte words). *)
+type t = { page : int; words : int array; values : Bytes.t }
+
+external bytes_get64 : Bytes.t -> int -> int64 = "%caml_bytes_get64"
+
+let value_bytes = 8
 
 let create ~page ~twin ~current =
-  if Page.words twin <> Page.words current then invalid_arg "Diff.create: size mismatch";
-  let changed = ref [] in
-  for word = Page.words current - 1 downto 0 do
-    if Page.get_int64 twin word <> Page.get_int64 current word then changed := word :: !changed
+  let n = Page.words current in
+  if Page.words twin <> n then invalid_arg "Diff.create: size mismatch";
+  let tb = Page.raw twin and cb = Page.raw current in
+  (* two passes: count the changed words, then fill exactly-sized arrays *)
+  let count = ref 0 in
+  for word = 0 to n - 1 do
+    if bytes_get64 tb (word * value_bytes) <> bytes_get64 cb (word * value_bytes) then
+      incr count
   done;
-  let words = Array.of_list !changed in
-  let values = Array.map (Page.get_int64 current) words in
+  let words = Array.make !count 0 in
+  let values = Bytes.create (!count * value_bytes) in
+  let slot = ref 0 in
+  for word = 0 to n - 1 do
+    let off = word * value_bytes in
+    if bytes_get64 tb off <> bytes_get64 cb off then begin
+      Array.unsafe_set words !slot word;
+      Bytes.blit cb off values (!slot * value_bytes) value_bytes;
+      incr slot
+    end
+  done;
   { page; words; values }
 
 let page t = t.page
@@ -21,7 +41,11 @@ let word_count t = Array.length t.words
 let is_empty t = word_count t = 0
 
 let apply t target =
-  Array.iteri (fun i word -> Page.set_int64 target word t.values.(i)) t.words
+  let dst = Page.raw target in
+  for i = 0 to Array.length t.words - 1 do
+    Bytes.blit t.values (i * value_bytes) dst (Array.unsafe_get t.words i * value_bytes)
+      value_bytes
+  done
 
 let size_bytes t = 8 + (word_count t * 12)
 (* header + (word index, value) pairs; matches CVM's runlength encoding

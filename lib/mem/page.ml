@@ -14,17 +14,43 @@ let words t = Bytes.length t.data / t.word_size
 
 let check t word = if word < 0 || word >= words t then invalid_arg "Page: word out of range"
 
+(* Bounds-checked 64-bit loads/stores as compiler primitives, so the int64
+   stays unboxed inside each accessor body (no flambda: crossing a function
+   boundary with an int64 would box it). The wire format is little-endian,
+   like Bytes.get_int64_le. *)
+external bytes_get64 : Bytes.t -> int -> int64 = "%caml_bytes_get64"
+external bytes_set64 : Bytes.t -> int -> int64 -> unit = "%caml_bytes_set64"
+external swap64 : int64 -> int64 = "%bswap_int64"
+
 let get_int64 t word =
   check t word;
-  Bytes.get_int64_le t.data (word * t.word_size)
+  let v = bytes_get64 t.data (word * t.word_size) in
+  if Sys.big_endian then swap64 v else v
 
 let set_int64 t word v =
   check t word;
-  Bytes.set_int64_le t.data (word * t.word_size) v
+  let v = if Sys.big_endian then swap64 v else v in
+  bytes_set64 t.data (word * t.word_size) v
 
-let get_float t word = Int64.float_of_bits (get_int64 t word)
+let get_int t word =
+  check t word;
+  let v = bytes_get64 t.data (word * t.word_size) in
+  Int64.to_int (if Sys.big_endian then swap64 v else v)
 
-let set_float t word v = set_int64 t word (Int64.bits_of_float v)
+let set_int t word v =
+  check t word;
+  let v = Int64.of_int v in
+  bytes_set64 t.data (word * t.word_size) (if Sys.big_endian then swap64 v else v)
+
+let get_float t word =
+  check t word;
+  let v = bytes_get64 t.data (word * t.word_size) in
+  Int64.float_of_bits (if Sys.big_endian then swap64 v else v)
+
+let set_float t word v =
+  check t word;
+  let v = Int64.bits_of_float v in
+  bytes_set64 t.data (word * t.word_size) (if Sys.big_endian then swap64 v else v)
 
 let copy t = { data = Bytes.copy t.data; word_size = t.word_size }
 

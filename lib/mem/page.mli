@@ -15,6 +15,13 @@ val set_int64 : t -> int -> int64 -> unit
 val get_float : t -> int -> float
 val set_float : t -> int -> float -> unit
 
+val get_int : t -> int -> int
+(** [Int64.to_int] of the word — the value round-trips exactly for any
+    OCaml [int] stored with {!set_int}, without materializing a boxed
+    int64 on the access path. *)
+
+val set_int : t -> int -> int -> unit
+
 val copy : t -> t
 (** Used to make twins in the multi-writer protocol. *)
 

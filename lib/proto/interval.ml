@@ -29,11 +29,18 @@ let id t = t.id
 let proc t = t.id.proc
 let index t = t.id.index
 
+(* Monomorphic int-list membership: [List.mem] goes through the
+   polymorphic comparator, and these run on the barrier master for every
+   concurrent pair of the epoch. *)
+let rec mem_page (page : int) = function
+  | [] -> false
+  | p :: tl -> p = page || mem_page page tl
+
 let add_write_page t page =
-  if not (List.mem page t.write_pages) then t.write_pages <- page :: t.write_pages
+  if not (mem_page page t.write_pages) then t.write_pages <- page :: t.write_pages
 
 let add_read_page t page =
-  if not (List.mem page t.read_pages) then t.read_pages <- page :: t.read_pages
+  if not (mem_page page t.read_pages) then t.read_pages <- page :: t.read_pages
 
 let precedes a b =
   (* sigma_p^i happens-before sigma_q^j iff q had seen p's interval i when
@@ -43,14 +50,26 @@ let precedes a b =
 
 let concurrent a b = (not (precedes a b)) && not (precedes b a)
 
+let rec has_common xs ys =
+  match xs with [] -> false | x :: tl -> mem_page x ys || has_common tl ys
+
 let overlapping_pages a b =
   (* Pages through which the pair could race: written by both, or written
-     by one and read by the other. *)
-  let inter xs ys = List.filter (fun x -> List.mem x ys) xs in
-  let ww = inter a.write_pages b.write_pages in
-  let rw = inter a.read_pages b.write_pages in
-  let wr = inter a.write_pages b.read_pages in
-  List.sort_uniq compare (ww @ rw @ wr)
+     by one and read by the other. Almost every concurrent pair of an
+     epoch overlaps nowhere, so an allocation-free emptiness probe runs
+     first and the lists are only materialized for genuine candidates. *)
+  if
+    has_common a.write_pages b.write_pages
+    || has_common a.read_pages b.write_pages
+    || has_common a.write_pages b.read_pages
+  then begin
+    let inter xs ys = List.filter (fun x -> mem_page x ys) xs in
+    let ww = inter a.write_pages b.write_pages in
+    let rw = inter a.read_pages b.write_pages in
+    let wr = inter a.write_pages b.read_pages in
+    List.sort_uniq compare (ww @ rw @ wr)
+  end
+  else []
 
 let notice_count t = List.length t.write_pages + List.length t.read_pages
 

@@ -17,8 +17,12 @@ let set t p v = t.(p) <- v
 let incr t p = t.(p) <- t.(p) + 1
 
 let merge_into ~dst src =
-  if Array.length dst <> Array.length src then invalid_arg "Vclock.merge_into";
-  Array.iteri (fun i v -> if v > dst.(i) then dst.(i) <- v) src
+  let n = Array.length dst in
+  if n <> Array.length src then invalid_arg "Vclock.merge_into";
+  for i = 0 to n - 1 do
+    let v = Array.unsafe_get src i in
+    if v > Array.unsafe_get dst i then Array.unsafe_set dst i v
+  done
 
 let merge a b =
   let dst = copy a in
@@ -26,8 +30,11 @@ let merge a b =
   dst
 
 let leq a b =
-  if Array.length a <> Array.length b then invalid_arg "Vclock.leq";
-  let rec scan i = i >= Array.length a || (a.(i) <= b.(i) && scan (i + 1)) in
+  let n = Array.length a in
+  if n <> Array.length b then invalid_arg "Vclock.leq";
+  let rec scan i =
+    i >= n || (Array.unsafe_get a i <= Array.unsafe_get b i && scan (i + 1))
+  in
   scan 0
 
 let equal a b = a = b

@@ -15,6 +15,16 @@ val concurrent_pairs :
     intervals. Each comparison is the constant-time version-vector check;
     the count feeds the O(i^2 p^2) bound of the paper. *)
 
+val concurrent_check_list :
+  ?stats:Sim.Stats.t ->
+  ?probe:(Checklist.entry -> unit) ->
+  Proto.Interval.t list ->
+  int * Checklist.entry list
+(** Steps 2 and 3 fused: same comparisons, winnowing, order and statistics
+    as {!concurrent_pairs} piped into {!check_list}, but the intermediate
+    concurrent-pair list is never built. Returns the concurrent-pair
+    count alongside the check list. *)
+
 val overlapping_pages_linear :
   npages:int -> Proto.Interval.t -> Proto.Interval.t -> int list
 (** Section 6.2's optimization: page lists as bitmaps, so the overlap of a

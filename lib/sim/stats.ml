@@ -39,6 +39,7 @@ type t = {
   mutable write_faults : int;
   mutable diffs_created : int;
   mutable diff_words : int;
+  mutable diffs_gced : int;  (* diffs dropped by interval garbage collection *)
   mutable pages_fetched : int;
   mutable intervals_created : int;
   mutable interval_comparisons : int;
@@ -77,6 +78,7 @@ let create () =
     write_faults = 0;
     diffs_created = 0;
     diff_words = 0;
+    diffs_gced = 0;
     pages_fetched = 0;
     intervals_created = 0;
     interval_comparisons = 0;

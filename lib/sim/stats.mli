@@ -32,6 +32,7 @@ type t = {
   mutable write_faults : int;
   mutable diffs_created : int;
   mutable diff_words : int;
+  mutable diffs_gced : int;  (** diffs dropped by interval garbage collection *)
   mutable pages_fetched : int;
   mutable intervals_created : int;
   mutable interval_comparisons : int;

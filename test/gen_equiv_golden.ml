@@ -1,0 +1,44 @@
+(* Golden-file generator for the differential performance-equivalence
+   suite. Runs every combo in [Equiv_combos.all] against the CURRENT
+   library and records the observable outcome. The checked-in golden file
+   (test/golden/perf_equiv.json) was generated from the pre-optimization
+   protocol core, so the suite proves the optimized hot paths behaviorally
+   identical to the implementation they replaced.
+
+     dune exec test/gen_equiv_golden.exe -- [OUT.json]
+
+   Regenerate only when a combo definition or an intended behavior change
+   makes the old goldens stale — never to paper over a mismatch. *)
+
+let () =
+  let out =
+    match Array.to_list Sys.argv with
+    | [ _ ] -> Equiv_combos.golden_path
+    | [ _; path ] -> path
+    | _ ->
+        prerr_endline "usage: gen_equiv_golden.exe [OUT.json]";
+        exit 2
+  in
+  let combos = Equiv_combos.all in
+  Printf.printf "running %d combos...\n%!" (List.length combos);
+  let entries =
+    List.map
+      (fun (combo : Equiv_combos.combo) ->
+        let result = Equiv_combos.run combo in
+        Printf.printf "  %-24s %d race(s), checksum %d\n%!" combo.Equiv_combos.label
+          (List.length result.Equiv_combos.races)
+          result.Equiv_combos.mem_checksum;
+        Bench_json.Obj
+          [
+            ("label", Bench_json.String combo.Equiv_combos.label);
+            ("result", Equiv_combos.result_to_json result);
+          ])
+      combos
+  in
+  Bench_json.to_file out
+    (Bench_json.Obj
+       [
+         ("schema", Bench_json.String "cvm-race-equiv/1");
+         ("combos", Bench_json.List entries);
+       ]);
+  Printf.printf "wrote %s\n" out

@@ -98,8 +98,47 @@ let prop_tsp_lower_bound_admissible =
       let n = 7 in
       let visited = Array.make n false in
       visited.(0) <- true;
-      let bound = Apps.Tsp.lower_bound dist visited ~n ~current:0 ~cost:0 in
+      let bound = Apps.Tsp.lower_bound (Apps.Tsp.bound_ctx dist) visited ~current:0 ~cost:0 in
       bound <= brute_force_optimum dist)
+
+(* The shipped lower bound scans ranked-neighbour rows; it must compute
+   exactly the textbook value (cost + cheapest edge out of [current] +
+   per unvisited city its cheapest edge into (unvisited \ itself) or
+   home), or the branch-and-bound tree — and with it every simulated
+   access — would silently change. *)
+let naive_lower_bound dist visited ~n ~current ~cost =
+  let lb = ref cost in
+  let cheapest_from_current = ref max_int in
+  let any = ref false in
+  for u = 0 to n - 1 do
+    if not visited.(u) then begin
+      any := true;
+      if dist.(current).(u) < !cheapest_from_current then
+        cheapest_from_current := dist.(current).(u);
+      let m = ref dist.(u).(0) in
+      for v = 0 to n - 1 do
+        if v <> u && (not visited.(v)) && dist.(u).(v) < !m then m := dist.(u).(v)
+      done;
+      lb := !lb + !m
+    end
+  done;
+  if !any then !lb + !cheapest_from_current else !lb + dist.(current).(0)
+
+let prop_tsp_lower_bound_matches_naive =
+  QCheck.Test.make ~name:"tsp ranked lower bound equals naive scan" ~count:200
+    QCheck.(pair (int_range 1 10_000) (int_range 0 255))
+    (fun (seed, mask) ->
+      let n = 8 in
+      let params = { Apps.Tsp.ncities = n; seed; dfs_threshold = n } in
+      let dist = Apps.Tsp.distances params in
+      let ctx = Apps.Tsp.bound_ctx dist in
+      let visited = Array.init n (fun i -> i = 0 || mask land (1 lsl i) <> 0) in
+      (* current must be a visited city, as in any partial tour *)
+      let current = ref 0 in
+      Array.iteri (fun i v -> if v then current := i) visited;
+      let current = !current in
+      Apps.Tsp.lower_bound ctx visited ~current ~cost:17
+      = naive_lower_bound dist visited ~n ~current ~cost:17)
 
 let prop_tsp_reference_optimal =
   QCheck.Test.make ~name:"tsp reference equals brute force" ~count:20
@@ -181,6 +220,7 @@ let suite =
     ( "numerics:tsp",
       [
         QCheck_alcotest.to_alcotest prop_tsp_lower_bound_admissible;
+        QCheck_alcotest.to_alcotest prop_tsp_lower_bound_matches_naive;
         QCheck_alcotest.to_alcotest prop_tsp_reference_optimal;
         Alcotest.test_case "distances symmetric" `Quick test_tsp_distances_symmetric;
       ] );

@@ -5,4 +5,5 @@ let () =
     (Suite_sim.suite @ Suite_mem.suite @ Suite_proto.suite @ Suite_detector.suite
    @ Suite_lrc.suite @ Suite_detection.suite @ Suite_apps.suite @ Suite_instrument.suite
    @ Suite_dataflow.suite @ Suite_numerics.suite @ Suite_extra.suite @ Suite_litmus.suite
-   @ Suite_extensions.suite @ Suite_faults.suite @ Suite_trace.suite)
+   @ Suite_extensions.suite @ Suite_faults.suite @ Suite_trace.suite
+   @ Suite_perf_equiv.suite)

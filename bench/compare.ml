@@ -2,67 +2,22 @@
 
      dune exec bench/compare.exe -- baseline.json current.json
 
-   Both inputs are files written by [bench/main.exe --json]. Sweep entries
-   are matched on (app, scale, nprocs, detect, protocol); for every pair
-   the gate checks that
+   Both inputs are files written by [bench/main.exe --json]. The actual
+   comparison lives in [Compare_core] (so the unit suite can test it);
+   this file is only argument parsing and the exit code.
 
-     - wall-clock has not regressed by more than the threshold (default
-       15%, [--threshold PCT]) — small absolute drifts under the noise
-       floor (50 ms) never fail, so CI-sized runs are not flaky;
-     - the run's observable outcome is unchanged: race count, memory
-       checksum, simulated time and wire bytes must be equal, because the
-       simulation is deterministic and any drift there is a behavior
-       change, not noise.
-
-   Entries present in only one file are reported but do not fail the
-   gate, so the baseline can be extended without a lockstep update. *)
-
-let threshold_pct = ref 15.0
-
-let noise_floor_s = 0.050
-
-type entry = {
-  key : string * string * int * bool * string;  (* app, scale, nprocs, detect, protocol *)
-  wall_s : float;
-  sim_time_ns : int;
-  races : int;
-  mem_checksum : int;
-  bytes : int;
-}
-
-let entry_of_json v =
-  let open Bench_json in
-  {
-    key =
-      ( to_string_exn (member "app" v),
-        to_string_exn (member "scale" v),
-        to_int_exn (member "nprocs" v),
-        to_bool_exn (member "detect" v),
-        to_string_exn (member "protocol" v) );
-    wall_s = to_float_exn (member "wall_s" v);
-    sim_time_ns = to_int_exn (member "sim_time_ns" v);
-    races = to_int_exn (member "races" v);
-    mem_checksum = to_int_exn (member "mem_checksum" v);
-    bytes = to_int_exn (member "bytes" v);
-  }
-
-let load path =
-  let v = Bench_json.of_file path in
-  (match Bench_json.member "schema" v with
-  | Bench_json.String "cvm-race-bench/1" -> ()
-  | _ -> failwith (Printf.sprintf "%s: not a cvm-race-bench/1 file" path));
-  Bench_json.to_list_exn (Bench_json.member "entries" v) |> List.map entry_of_json
-
-let key_string (app, scale, nprocs, detect, protocol) =
-  Printf.sprintf "%s/%s p=%d %s %s" app scale nprocs
-    (if detect then "detect" else "no-detect")
-    protocol
+   Exit 1 on any failure: a wall-clock regression past the threshold, a
+   drifted deterministic field, a baseline entry missing from the
+   current run, or nothing comparable at all. [--ignore-wall] skips the
+   wall check, for same-build comparisons like --jobs 1 vs --jobs N. *)
 
 let () =
   let usage () =
-    prerr_endline "usage: compare.exe BASELINE.json CURRENT.json [--threshold PCT]";
+    prerr_endline "usage: compare.exe BASELINE.json CURRENT.json [--threshold PCT] [--ignore-wall]";
     exit 2
   in
+  let threshold_pct = ref 15.0 in
+  let ignore_wall = ref false in
   let rec parse paths = function
     | "--threshold" :: pct :: rest ->
         (match float_of_string_opt pct with
@@ -70,6 +25,9 @@ let () =
         | _ -> usage ());
         parse paths rest
     | "--threshold" :: [] -> usage ()
+    | "--ignore-wall" :: rest ->
+        ignore_wall := true;
+        parse paths rest
     | path :: rest -> parse (path :: paths) rest
     | [] -> List.rev paths
   in
@@ -78,51 +36,21 @@ let () =
     | [ a; b ] -> (a, b)
     | _ -> usage ()
   in
-  let baseline = load baseline_path and current = load current_path in
-  let failures = ref 0 in
-  let fail fmt = Printf.ksprintf (fun msg -> incr failures; Printf.printf "FAIL %s\n" msg) fmt in
-  let compared = ref 0 in
-  List.iter
-    (fun current_entry ->
-      match List.find_opt (fun b -> b.key = current_entry.key) baseline with
-      | None -> Printf.printf "new  %s (not in baseline, skipped)\n" (key_string current_entry.key)
-      | Some base ->
-          incr compared;
-          let name = key_string current_entry.key in
-          let ratio = current_entry.wall_s /. Float.max base.wall_s 1e-9 in
-          let regressed =
-            current_entry.wall_s -. base.wall_s > noise_floor_s
-            && ratio > 1.0 +. (!threshold_pct /. 100.0)
-          in
-          if regressed then
-            fail "%s: wall %.3fs -> %.3fs (%.0f%% > %.0f%% threshold)" name base.wall_s
-              current_entry.wall_s
-              ((ratio -. 1.0) *. 100.0)
-              !threshold_pct
-          else
-            Printf.printf "ok   %s: wall %.3fs -> %.3fs (%+.0f%%)\n" name base.wall_s
-              current_entry.wall_s
-              ((ratio -. 1.0) *. 100.0);
-          if current_entry.races <> base.races then
-            fail "%s: race count %d -> %d" name base.races current_entry.races;
-          if current_entry.mem_checksum <> base.mem_checksum then
-            fail "%s: memory checksum %d -> %d" name base.mem_checksum current_entry.mem_checksum;
-          if current_entry.sim_time_ns <> base.sim_time_ns then
-            fail "%s: simulated time %d -> %d ns" name base.sim_time_ns current_entry.sim_time_ns;
-          if current_entry.bytes <> base.bytes then
-            fail "%s: wire bytes %d -> %d" name base.bytes current_entry.bytes)
-    current;
-  List.iter
-    (fun base ->
-      if not (List.exists (fun c -> c.key = base.key) current) then
-        Printf.printf "gone %s (in baseline only)\n" (key_string base.key))
-    baseline;
-  if !compared = 0 then begin
+  let baseline = Compare_core.load baseline_path
+  and current = Compare_core.load current_path in
+  let report =
+    Compare_core.compare_runs ~threshold_pct:!threshold_pct ~ignore_wall:!ignore_wall ~baseline
+      ~current ()
+  in
+  List.iter print_endline report.Compare_core.lines;
+  if report.Compare_core.compared = 0 then begin
     Printf.printf "no comparable entries between %s and %s\n" baseline_path current_path;
     exit 1
   end;
-  if !failures > 0 then begin
-    Printf.printf "%d failure(s) against %s\n" !failures baseline_path;
+  if report.Compare_core.failures > 0 then begin
+    Printf.printf "%d failure(s) against %s\n" report.Compare_core.failures baseline_path;
     exit 1
   end
-  else Printf.printf "all %d entries within %.0f%% of %s\n" !compared !threshold_pct baseline_path
+  else
+    Printf.printf "all %d entries within %.0f%% of %s\n" report.Compare_core.compared
+      !threshold_pct baseline_path

@@ -1,0 +1,52 @@
+(** Decision logic of the benchmark regression gate (bench/compare.exe),
+    split from the CLI so the unit suite can drive it on synthetic runs. *)
+
+val noise_floor_s : float
+(** Absolute wall-clock drift (50 ms) below which a slowdown never
+    fails, however large the ratio — keeps CI-sized runs unflaky. *)
+
+type entry = {
+  key : string * string * int * bool * string;
+      (** app, scale, nprocs, detect, protocol — the match key *)
+  wall_s : float;
+  sim_time_ns : int;
+  races : int;
+  mem_checksum : int;
+  bytes : int;
+}
+
+val entry_of_json : Bench_json.t -> entry
+
+val entries_of_json : Bench_json.t -> entry list
+(** Checks the ["cvm-race-bench/1"] schema marker; raises [Failure]
+    otherwise. *)
+
+val load : string -> entry list
+(** [entries_of_json] over a file, with the path prefixed to errors. *)
+
+val key_string : string * string * int * bool * string -> string
+
+type report = {
+  lines : string list;  (** human-readable, one per comparison or note *)
+  compared : int;  (** entries present in both runs *)
+  failures : int;
+}
+
+val passed : report -> bool
+(** No failures and at least one comparable entry. *)
+
+val compare_runs :
+  ?threshold_pct:float ->
+  ?ignore_wall:bool ->
+  baseline:entry list ->
+  current:entry list ->
+  unit ->
+  report
+(** Gate [current] against [baseline]. Wall-clock may regress up to
+    [threshold_pct] (default 15%) before failing, and never fails under
+    {!noise_floor_s}; [ignore_wall] (default false) skips the wall check
+    for same-build comparisons such as [--jobs 1] vs [--jobs N].
+    Deterministic fields (races, checksum, simulated time, wire bytes)
+    must match exactly. Entries only in [current] are noted but pass;
+    entries only in [baseline] are failures — a sweep point that
+    disappears must be a deliberate baseline regeneration, not erosion. *)

@@ -6,6 +6,14 @@
      dune exec bench/main.exe -- table1  -- one experiment
      dune exec bench/main.exe -- --small all   -- reduced inputs (CI-sized)
      dune exec bench/main.exe -- sweep --json out.json   -- machine-readable
+     dune exec bench/main.exe -- --jobs 4 sweep   -- fan runs over 4 domains
+
+   Every experiment is a fan-out of independent simulation runs, so the
+   harness runs them on a Parallel.Pool ([--jobs N], default the host's
+   recommended domain count). Results are harvested in submission order
+   and all rendering happens on the main domain, so the report and the
+   JSON are identical whatever [--jobs] is; only the wall-clock and GC
+   numbers (real measurements) move.
 
    Absolute numbers come from the simulator's calibrated cost model
    (DESIGN.md section 4); the comparison targets are the *shapes* reported
@@ -119,6 +127,10 @@ let run_micro () =
 
 let scale = ref Apps.Registry.Paper
 
+(* Set once during flag parsing, before any pool exists; worker domains
+   only ever read it. *)
+let jobs = ref (Parallel.Pool.default_jobs ())
+
 let scale_name () =
   match !scale with
   | Apps.Registry.Paper -> "paper"
@@ -127,19 +139,19 @@ let scale_name () =
 
 let run_table1 () =
   section "Table 1";
-  wall (fun () -> Core.Report.table1 ppf (Core.Experiments.table1 ~scale:!scale ()))
+  wall (fun () -> Core.Report.table1 ppf (Core.Experiments.table1 ~scale:!scale ~jobs:!jobs ()))
 
 let run_table2 () =
   section "Table 2";
-  wall (fun () -> Core.Report.table2 ppf (Core.Experiments.table2 ~scale:!scale ()))
+  wall (fun () -> Core.Report.table2 ppf (Core.Experiments.table2 ~scale:!scale ~jobs:!jobs ()))
 
 let run_table3 () =
   section "Table 3";
-  wall (fun () -> Core.Report.table3 ppf (Core.Experiments.table3 ~scale:!scale ()))
+  wall (fun () -> Core.Report.table3 ppf (Core.Experiments.table3 ~scale:!scale ~jobs:!jobs ()))
 
 let run_figure3 () =
   section "Figure 3";
-  wall (fun () -> Core.Report.figure3 ppf (Core.Experiments.figure3 ~scale:!scale ()))
+  wall (fun () -> Core.Report.figure3 ppf (Core.Experiments.figure3 ~scale:!scale ~jobs:!jobs ()))
 
 let run_figure4 () =
   section "Figure 4";
@@ -149,52 +161,58 @@ let run_figure4 () =
          simulate; sweep it from 4 as the paper's own TSP curve is the
          noisiest of the four. *)
       let names = [ "fft"; "sor"; "water" ] in
-      let rows = Core.Experiments.figure4 ~scale:!scale ~names () in
-      let tsp = Core.Experiments.figure4 ~scale:!scale ~procs:[ 4; 8 ] ~names:[ "tsp" ] () in
+      let rows = Core.Experiments.figure4 ~scale:!scale ~names ~jobs:!jobs () in
+      let tsp =
+        Core.Experiments.figure4 ~scale:!scale ~procs:[ 4; 8 ] ~names:[ "tsp" ] ~jobs:!jobs ()
+      in
       Core.Report.figure4 ppf (rows @ tsp))
 
 let run_figure5 () =
   section "Figure 5";
-  wall (fun () -> Core.Report.figure5 ppf (Core.Experiments.figure5_both ()))
+  wall (fun () -> Core.Report.figure5 ppf (Core.Experiments.figure5_both ~jobs:!jobs ()))
 
 let run_ablation () =
   section "Ablation: stores from diffs (section 6.5)";
   wall (fun () ->
       Core.Report.ablation ppf
-        (List.map
-           (fun name -> Core.Experiments.stores_from_diffs_ablation ~scale:!scale name)
+        (Core.Experiments.stores_from_diffs_ablation_all ~scale:!scale ~jobs:!jobs
            [ "sor"; "water" ]))
 
 let run_retention () =
   section "Ablation: single-run site retention (section 6.1)";
   wall (fun () ->
       Core.Report.retention ppf
-        (List.map
-           (fun name -> Core.Experiments.site_retention_ablation ~scale:!scale name)
+        (Core.Experiments.site_retention_ablation_all ~scale:!scale ~jobs:!jobs
            [ "tsp"; "water" ]))
 
 let run_protocols () =
   section "Protocol comparison (single-writer vs multi-writer vs home-based)";
   wall (fun () ->
-      let rows =
-        List.concat_map
-          (fun name -> Core.Experiments.protocol_comparison ~scale:!scale name)
-          Apps.Registry.all_names
-      in
-      Core.Report.protocols ppf rows)
+      Core.Report.protocols ppf
+        (Core.Experiments.protocol_comparison_all ~scale:!scale ~jobs:!jobs ()))
 
 let run_faults () =
   section "Fault sweep: report stability over a lossy wire";
-  wall (fun () -> Core.Report.faults ppf (Core.Experiments.fault_sweep_all ~scale:!scale ()))
+  wall (fun () ->
+      Core.Report.faults ppf (Core.Experiments.fault_sweep_all ~scale:!scale ~jobs:!jobs ()))
 
 (* ------------------------------------------------------------------ *)
 (* The machine-readable sweep: one simulated run per (app, nprocs,
    detect) point, timed with the monotonic clock and bracketed by
-   [Gc.quick_stat] so allocation pressure is part of the record. *)
+   [Gc.quick_stat] so allocation pressure is part of the record.
+
+   [bench_point] is the pool task: it runs on whatever domain the pool
+   hands it to, so it must not print or touch shared mutable state — it
+   returns the JSON entry and the rendered summary line, and the main
+   domain emits both in submission order. Under [--jobs > 1] the GC
+   deltas bill only this domain's minor heap but share the major heap
+   with concurrent points, and wall-clock includes contention; both are
+   measurement fields, not outcomes, and bench/compare.exe treats only
+   the deterministic fields as gating. *)
 
 let sweep_entries : Bench_json.t list ref = ref []
 
-let bench_entry ~nprocs ~detect name =
+let bench_point ~nprocs ~detect name =
   let app = Apps.Registry.make ~scale:!scale name in
   let cfg = { Lrc.Config.default with Lrc.Config.detect } in
   (* level the heap between points so one entry's garbage does not bill
@@ -242,13 +260,15 @@ let bench_entry ~nprocs ~detect name =
         ("major_collections", Int (g1.Gc.major_collections - g0.Gc.major_collections));
       ]
   in
-  sweep_entries := entry :: !sweep_entries;
-  Format.fprintf ppf "%-6s p=%-3d %s  %8.2fs wall  %10d ns sim  %9.2e minor words  %d races@."
-    (String.lowercase_ascii name) nprocs
-    (if detect then "detect   " else "no-detect")
-    (t1 -. t0) outcome.Core.Driver.sim_time_ns
-    (g1.Gc.minor_words -. g0.Gc.minor_words)
-    (List.length outcome.Core.Driver.races)
+  let line =
+    Printf.sprintf "%-6s p=%-3d %s  %8.2fs wall  %10d ns sim  %9.2e minor words  %d races"
+      (String.lowercase_ascii name) nprocs
+      (if detect then "detect   " else "no-detect")
+      (t1 -. t0) outcome.Core.Driver.sim_time_ns
+      (g1.Gc.minor_words -. g0.Gc.minor_words)
+      (List.length outcome.Core.Driver.races)
+  in
+  (entry, line)
 
 let sweep_procs : int list option ref = ref None
 
@@ -268,13 +288,26 @@ let run_sweep () =
     | Apps.Registry.Large -> [ "fft"; "sor"; "water" ]
     | _ -> Apps.Registry.all_names
   in
+  let points =
+    List.concat_map
+      (fun name ->
+        List.map (fun nprocs -> (name, nprocs, true)) procs
+        (* one uninstrumented point per app anchors the slowdown *)
+        @ [ (name, List.hd procs, false) ])
+      names
+  in
   wall (fun () ->
+      let results =
+        Parallel.Pool.with_pool ~jobs:!jobs (fun pool ->
+            Parallel.Pool.map_exn pool
+              (fun (name, nprocs, detect) -> bench_point ~nprocs ~detect name)
+              points)
+      in
       List.iter
-        (fun name ->
-          List.iter (fun nprocs -> bench_entry ~nprocs ~detect:true name) procs;
-          (* one uninstrumented point per app anchors the slowdown *)
-          bench_entry ~nprocs:(List.hd procs) ~detect:false name)
-        names)
+        (fun (entry, line) ->
+          sweep_entries := entry :: !sweep_entries;
+          Format.fprintf ppf "%s@." line)
+        results)
 
 (* ------------------------------------------------------------------ *)
 
@@ -332,6 +365,16 @@ let () =
         parse_flags rest
     | "--procs" :: [] ->
         prerr_endline "--procs requires a comma-separated list";
+        exit 2
+    | "--jobs" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some n when n >= 1 -> jobs := n
+        | _ ->
+            prerr_endline "--jobs requires a positive integer";
+            exit 2);
+        parse_flags rest
+    | "--jobs" :: [] ->
+        prerr_endline "--jobs requires a positive integer";
         exit 2
     | arg :: rest -> arg :: parse_flags rest
     | [] -> []

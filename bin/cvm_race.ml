@@ -15,6 +15,7 @@
              Chrome trace-event JSON export
      table   regenerate one of the paper's tables/figures (see bench/ for
              the full harness)
+     sweep   apps x processor-counts overhead sweep over --jobs domains
      analyze run only the static elimination pass: classification,
              redundant-check batching and lockset lint per application
      litmus  explore memory-model litmus tests under a protocol
@@ -132,6 +133,13 @@ let max_retries_arg =
 let transport_arg =
   let doc = "Run the reliable transport even over a fault-free wire." in
   Arg.(value & flag & info [ "transport" ] ~doc)
+
+let jobs_arg =
+  let doc =
+    "Number of independent simulation runs to execute in parallel (worker domains). \
+     Output is identical whatever $(docv) is; only wall-clock changes."
+  in
+  Arg.(value & opt int (Parallel.Pool.default_jobs ()) & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
 let ppf = Format.std_formatter
 
@@ -280,10 +288,10 @@ let record_command =
     Arg.(value & opt string "run.cvmt" & info [ "o"; "output" ] ~docv:"FILE" ~doc)
   in
   let record app_name procs scale protocol no_detect first_race_only stores_from_diffs
-      drop dup reorder partitions net_seed watchdog_ms max_retries transport out =
+      gc_epochs drop dup reorder partitions net_seed watchdog_ms max_retries transport out =
     let cfg =
       config ~protocol ~no_detect ~first_race_only ~stores_from_diffs ~oracle:false
-        ~gc_epochs:None
+        ~gc_epochs
     in
     let cfg =
       net_config cfg ~drop ~dup ~reorder ~partitions ~net_seed ~watchdog_ms ~max_retries
@@ -300,19 +308,19 @@ let record_command =
       (String.length log) out
   in
   let record app_name procs scale protocol no_detect first_race_only stores_from_diffs
-      drop dup reorder partitions net_seed watchdog_ms max_retries transport out =
+      gc_epochs drop dup reorder partitions net_seed watchdog_ms max_retries transport out =
     try
       record app_name procs scale protocol no_detect first_race_only stores_from_diffs
-        drop dup reorder partitions net_seed watchdog_ms max_retries transport out
+        gc_epochs drop dup reorder partitions net_seed watchdog_ms max_retries transport out
     with Sim.Engine.Deadlock diagnosis ->
       Format.fprintf ppf "DEADLOCK@.%s@." (Sim.Engine.diagnosis_to_string diagnosis);
       exit 2
   in
   let term =
     Term.(const record $ app_arg $ procs_arg $ scale_arg $ protocol_arg $ no_detect_arg
-        $ first_race_arg $ diff_stores_arg $ drop_arg $ dup_arg $ reorder_arg
-        $ partition_arg $ net_seed_arg $ watchdog_arg $ max_retries_arg $ transport_arg
-        $ out_arg)
+        $ first_race_arg $ diff_stores_arg $ gc_epochs_arg $ drop_arg $ dup_arg
+        $ reorder_arg $ partition_arg $ net_seed_arg $ watchdog_arg $ max_retries_arg
+        $ transport_arg $ out_arg)
   in
   Cmd.v
     (Cmd.info "record"
@@ -461,19 +469,44 @@ let table_command =
     let doc = "Which experiment: table1, table2, table3, figure3, figure4, figure5, faults." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT" ~doc)
   in
-  let table which scale =
+  let table which scale jobs =
     match which with
-    | "table1" -> Core.Report.table1 ppf (Core.Experiments.table1 ~scale ())
-    | "table2" -> Core.Report.table2 ppf (Core.Experiments.table2 ~scale ())
-    | "table3" -> Core.Report.table3 ppf (Core.Experiments.table3 ~scale ())
-    | "figure3" -> Core.Report.figure3 ppf (Core.Experiments.figure3 ~scale ())
-    | "figure4" -> Core.Report.figure4 ppf (Core.Experiments.figure4 ~scale ())
-    | "figure5" -> Core.Report.figure5 ppf (Core.Experiments.figure5_both ())
-    | "faults" -> Core.Report.faults ppf (Core.Experiments.fault_sweep_all ~scale ())
+    | "table1" -> Core.Report.table1 ppf (Core.Experiments.table1 ~scale ~jobs ())
+    | "table2" -> Core.Report.table2 ppf (Core.Experiments.table2 ~scale ~jobs ())
+    | "table3" -> Core.Report.table3 ppf (Core.Experiments.table3 ~scale ~jobs ())
+    | "figure3" -> Core.Report.figure3 ppf (Core.Experiments.figure3 ~scale ~jobs ())
+    | "figure4" -> Core.Report.figure4 ppf (Core.Experiments.figure4 ~scale ~jobs ())
+    | "figure5" -> Core.Report.figure5 ppf (Core.Experiments.figure5_both ~jobs ())
+    | "protocols" ->
+        Core.Report.protocols ppf (Core.Experiments.protocol_comparison_all ~scale ~jobs ())
+    | "faults" -> Core.Report.faults ppf (Core.Experiments.fault_sweep_all ~scale ~jobs ())
     | other -> Format.fprintf ppf "unknown experiment %S@." other
   in
-  let term = Term.(const table $ which_arg $ scale_arg) in
+  let term = Term.(const table $ which_arg $ scale_arg $ jobs_arg) in
   Cmd.v (Cmd.info "table" ~doc:"Regenerate one of the paper's tables or figures.") term
+
+let sweep_command =
+  let apps_arg =
+    let doc = "Applications to sweep (default: the paper's four)." in
+    Arg.(value & pos_all string [] & info [] ~docv:"APP" ~doc)
+  in
+  let procs_list_arg =
+    let doc = "Comma-separated processor counts." in
+    Arg.(value & opt (list int) [ 2; 4; 8 ] & info [ "p"; "procs" ] ~docv:"N,N,..." ~doc)
+  in
+  let sweep apps procs scale jobs =
+    let names = match apps with [] -> Apps.Registry.all_names | names -> names in
+    let rows = Core.Experiments.figure4 ~scale ~procs ~names ~jobs () in
+    Core.Report.figure4 ppf rows
+  in
+  let term = Term.(const sweep $ apps_arg $ procs_list_arg $ scale_arg $ jobs_arg) in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Sweep applications across processor counts (instrumented vs baseline, with \
+          overheads), fanning the independent runs over $(b,--jobs) domains. The full \
+          timed harness with JSON output lives in bench/main.exe.")
+    term
 
 let analyze_command =
   let app_opt_arg =
@@ -549,6 +582,7 @@ let () =
             replay_command;
             trace_command;
             table_command;
+            sweep_command;
             analyze_command;
             litmus_command;
           ]))

@@ -1,8 +1,19 @@
 (* Regeneration of every table and figure in the paper's evaluation.
    Each experiment returns structured rows; {!Report} renders them. The
-   benchmark harness and the CLI both drive these functions. *)
+   benchmark harness and the CLI both drive these functions.
+
+   Every sweep-shaped experiment takes [?jobs] and fans its independent
+   simulation runs out over a {!Parallel.Pool}. Each task builds its own
+   app, cluster and RNGs, so runs share only read-only state (see
+   docs/PARALLEL.md); results come back in input order, making the rows
+   identical whatever [jobs] is. The default is 1 — sequential, on the
+   calling domain — so library callers see no change unless they opt in. *)
 
 let default_procs = 8
+
+let pmap ?(jobs = 1) f xs =
+  if jobs <= 1 then List.map f xs
+  else Parallel.Pool.with_pool ~jobs (fun pool -> Parallel.Pool.map_exn pool f xs)
 
 (* ------------------------------------------------------------------ *)
 (* Table 1: application characteristics                                 *)
@@ -40,8 +51,8 @@ let table1_row ?(scale = Apps.Registry.Paper) ?(nprocs = default_procs) name =
     t1_slowdown = sd.Driver.factor;
   }
 
-let table1 ?scale ?nprocs () =
-  List.map (table1_row ?scale ?nprocs) Apps.Registry.all_names
+let table1 ?scale ?nprocs ?jobs () =
+  pmap ?jobs (table1_row ?scale ?nprocs) Apps.Registry.all_names
 
 (* ------------------------------------------------------------------ *)
 (* Table 2: static instrumentation statistics                          *)
@@ -51,8 +62,8 @@ type table2_row = {
   t2_class : Instrument.Static_analysis.classification;
 }
 
-let table2 ?(scale = Apps.Registry.Paper) () =
-  List.map
+let table2 ?(scale = Apps.Registry.Paper) ?jobs () =
+  pmap ?jobs
     (fun name ->
       let app = Apps.Registry.make ~scale name in
       {
@@ -95,8 +106,8 @@ let table3_row ?(scale = Apps.Registry.Paper) ?(nprocs = default_procs) name =
   let app = Apps.Registry.make ~scale name in
   table3_of_outcome (Driver.run ~app ~nprocs ())
 
-let table3 ?scale ?nprocs () =
-  List.map (table3_row ?scale ?nprocs) Apps.Registry.all_names
+let table3 ?scale ?nprocs ?jobs () =
+  pmap ?jobs (table3_row ?scale ?nprocs) Apps.Registry.all_names
 
 (* ------------------------------------------------------------------ *)
 (* Figure 3: overhead breakdown per application                        *)
@@ -116,8 +127,8 @@ let figure3_row ?(scale = Apps.Registry.Paper) ?(nprocs = default_procs) name =
     f3_overheads = Driver.overhead_percentages sd;
   }
 
-let figure3 ?scale ?nprocs () =
-  List.map (figure3_row ?scale ?nprocs) Apps.Registry.all_names
+let figure3 ?scale ?nprocs ?jobs () =
+  pmap ?jobs (figure3_row ?scale ?nprocs) Apps.Registry.all_names
 
 (* ------------------------------------------------------------------ *)
 (* Figure 4: slowdown versus number of processors                      *)
@@ -136,8 +147,33 @@ let figure4_row ?(scale = Apps.Registry.Paper) ?(procs = [ 2; 4; 8 ]) name =
         procs;
   }
 
-let figure4 ?scale ?procs ?(names = Apps.Registry.all_names) () =
-  List.map (figure4_row ?scale ?procs) names
+(* Parallelism is per (app, nprocs) point, not per app: the slowest app
+   no longer serializes its whole curve. *)
+let figure4 ?scale ?(procs = [ 2; 4; 8 ]) ?(names = Apps.Registry.all_names) ?jobs () =
+  let points =
+    List.concat_map (fun name -> List.map (fun nprocs -> (name, nprocs)) procs) names
+  in
+  let factors =
+    pmap ?jobs
+      (fun (name, nprocs) ->
+        let app = Apps.Registry.make ?scale name in
+        let sd = Driver.measure_slowdown ~app ~nprocs () in
+        (app.Apps.App.name, (nprocs, sd.Driver.factor)))
+      points
+  in
+  List.map
+    (fun name ->
+      let mine =
+        List.filter_map
+          (fun ((n, _), (display, point)) ->
+            if n = name then Some (display, point) else None)
+          (List.combine points factors)
+      in
+      {
+        f4_name = (match mine with (display, _) :: _ -> display | [] -> name);
+        f4_points = List.map snd mine;
+      })
+    names
 
 (* ------------------------------------------------------------------ *)
 (* Figure 5: races that occur only on a weak memory system             *)
@@ -216,8 +252,10 @@ let figure5 ~protocol () =
     f5_racy_words = racy;
   }
 
-let figure5_both () =
-  [ figure5 ~protocol:Lrc.Config.Single_writer (); figure5 ~protocol:Lrc.Config.Seq_consistent () ]
+let figure5_both ?jobs () =
+  pmap ?jobs
+    (fun protocol -> figure5 ~protocol ())
+    [ Lrc.Config.Single_writer; Lrc.Config.Seq_consistent ]
 
 (* ------------------------------------------------------------------ *)
 (* Ablation: the section 6.5 store-instrumentation optimization        *)
@@ -244,6 +282,9 @@ let stores_from_diffs_ablation ?(scale = Apps.Registry.Paper) ?(nprocs = default
     ab_diff_races = List.length diff.Driver.instrumented.Driver.races;
   }
 
+let stores_from_diffs_ablation_all ?scale ?nprocs ?jobs names =
+  pmap ?jobs (stores_from_diffs_ablation ?scale ?nprocs) names
+
 (* ------------------------------------------------------------------ *)
 (* Protocol comparison: the same applications over the single-writer,
    multi-writer and home-based protocols (baseline runs, no detection)  *)
@@ -258,23 +299,33 @@ type protocol_row = {
   pr_diffs : int;
 }
 
-let protocol_comparison ?(scale = Apps.Registry.Paper) ?(nprocs = default_procs) name =
+let compared_protocols =
+  [ Lrc.Config.Single_writer; Lrc.Config.Multi_writer; Lrc.Config.Home_based ]
+
+let protocol_row ~scale ~nprocs name protocol =
   let app = Apps.Registry.make ~scale name in
-  List.map
-    (fun protocol ->
-      let cfg = { Lrc.Config.default with Lrc.Config.protocol; detect = false } in
-      let outcome = Driver.run ~cfg ~app ~nprocs () in
-      let stats = outcome.Driver.stats in
-      {
-        pr_app = app.Apps.App.name;
-        pr_protocol = Lrc.Config.protocol_name protocol;
-        pr_time_ms = float_of_int outcome.Driver.sim_time_ns /. 1e6;
-        pr_messages = stats.Sim.Stats.messages;
-        pr_kbytes = stats.Sim.Stats.bytes / 1024;
-        pr_page_fetches = stats.Sim.Stats.pages_fetched;
-        pr_diffs = stats.Sim.Stats.diffs_created;
-      })
-    [ Lrc.Config.Single_writer; Lrc.Config.Multi_writer; Lrc.Config.Home_based ]
+  let cfg = { Lrc.Config.default with Lrc.Config.protocol; detect = false } in
+  let outcome = Driver.run ~cfg ~app ~nprocs () in
+  let stats = outcome.Driver.stats in
+  {
+    pr_app = app.Apps.App.name;
+    pr_protocol = Lrc.Config.protocol_name protocol;
+    pr_time_ms = float_of_int outcome.Driver.sim_time_ns /. 1e6;
+    pr_messages = stats.Sim.Stats.messages;
+    pr_kbytes = stats.Sim.Stats.bytes / 1024;
+    pr_page_fetches = stats.Sim.Stats.pages_fetched;
+    pr_diffs = stats.Sim.Stats.diffs_created;
+  }
+
+let protocol_comparison ?(scale = Apps.Registry.Paper) ?(nprocs = default_procs) name =
+  List.map (protocol_row ~scale ~nprocs name) compared_protocols
+
+let protocol_comparison_all ?(scale = Apps.Registry.Paper) ?(nprocs = default_procs)
+    ?(names = Apps.Registry.all_names) ?jobs () =
+  let tasks =
+    List.concat_map (fun name -> List.map (fun p -> (name, p)) compared_protocols) names
+  in
+  pmap ?jobs (fun (name, protocol) -> protocol_row ~scale ~nprocs name protocol) tasks
 
 (* ------------------------------------------------------------------ *)
 (* Robustness: race-report stability over a lossy wire                  *)
@@ -336,8 +387,10 @@ let fault_sweep ?(scale = Apps.Registry.Paper) ?(nprocs = default_procs)
       })
     drops
 
-let fault_sweep_all ?scale ?nprocs ?drops () =
-  List.concat_map (fault_sweep ?scale ?nprocs ?drops) Apps.Registry.all_names
+(* One task per app: each task's reliable baseline is reused by its own
+   drop points, so the unit of independence is the whole per-app sweep. *)
+let fault_sweep_all ?scale ?nprocs ?drops ?jobs () =
+  List.concat (pmap ?jobs (fault_sweep ?scale ?nprocs ?drops) Apps.Registry.all_names)
 
 (* ------------------------------------------------------------------ *)
 (* Section 6.1 ablation: single-run site retention vs plain detection   *)
@@ -363,3 +416,6 @@ let site_retention_ablation ?(scale = Apps.Registry.Paper) ?(nprocs = default_pr
     rt_site_entries = entries;
     rt_site_kbytes = entries * 32 / 1024;
   }
+
+let site_retention_ablation_all ?scale ?nprocs ?jobs names =
+  pmap ?jobs (site_retention_ablation ?scale ?nprocs) names

@@ -1,6 +1,11 @@
 (** Regeneration of every table and figure in the paper's evaluation,
     plus this library's extension experiments. Each function returns
-    structured rows; {!Report} renders them. *)
+    structured rows; {!Report} renders them.
+
+    Sweep-shaped experiments take [?jobs] (default 1 = sequential) and
+    fan their independent simulation runs out over a {!Parallel.Pool};
+    rows come back in the same order whatever [jobs] is, so parallel
+    output is identical to sequential output. *)
 
 val default_procs : int
 (** 8, the paper's system size. *)
@@ -20,7 +25,7 @@ val paper_table1 : (string * float * float) list
 (** (app, intervals/barrier, slowdown) as published. *)
 
 val table1_row : ?scale:Apps.Registry.scale -> ?nprocs:int -> string -> table1_row
-val table1 : ?scale:Apps.Registry.scale -> ?nprocs:int -> unit -> table1_row list
+val table1 : ?scale:Apps.Registry.scale -> ?nprocs:int -> ?jobs:int -> unit -> table1_row list
 
 (** {1 Table 2 — static instrumentation statistics} *)
 
@@ -29,7 +34,7 @@ type table2_row = {
   t2_class : Instrument.Static_analysis.classification;
 }
 
-val table2 : ?scale:Apps.Registry.scale -> unit -> table2_row list
+val table2 : ?scale:Apps.Registry.scale -> ?jobs:int -> unit -> table2_row list
 
 (** {1 Table 3 — dynamic metrics} *)
 
@@ -44,7 +49,7 @@ type table3_row = {
 
 val table3_of_outcome : Driver.outcome -> table3_row
 val table3_row : ?scale:Apps.Registry.scale -> ?nprocs:int -> string -> table3_row
-val table3 : ?scale:Apps.Registry.scale -> ?nprocs:int -> unit -> table3_row list
+val table3 : ?scale:Apps.Registry.scale -> ?nprocs:int -> ?jobs:int -> unit -> table3_row list
 
 (** {1 Figure 3 — overhead breakdown} *)
 
@@ -55,7 +60,7 @@ type figure3_row = {
 }
 
 val figure3_row : ?scale:Apps.Registry.scale -> ?nprocs:int -> string -> figure3_row
-val figure3 : ?scale:Apps.Registry.scale -> ?nprocs:int -> unit -> figure3_row list
+val figure3 : ?scale:Apps.Registry.scale -> ?nprocs:int -> ?jobs:int -> unit -> figure3_row list
 
 (** {1 Figure 4 — slowdown versus processors} *)
 
@@ -67,8 +72,10 @@ val figure4 :
   ?scale:Apps.Registry.scale ->
   ?procs:int list ->
   ?names:string list ->
+  ?jobs:int ->
   unit ->
   figure4_row list
+(** Parallelism is per (app, nprocs) point. *)
 
 (** {1 Figure 5 — weak-memory-only races} *)
 
@@ -81,7 +88,7 @@ type figure5_result = {
 val figure5 : protocol:Lrc.Config.protocol -> unit -> figure5_result
 (** The section 6.4 missing-release queue, run live under a protocol. *)
 
-val figure5_both : unit -> figure5_result list
+val figure5_both : ?jobs:int -> unit -> figure5_result list
 (** Under LRC (single-writer) and sequential consistency. *)
 
 (** {1 Extension ablations} *)
@@ -99,6 +106,9 @@ val stores_from_diffs_ablation :
 (** Section 6.5: write bitmaps from multi-writer diffs vs full store
     instrumentation. *)
 
+val stores_from_diffs_ablation_all :
+  ?scale:Apps.Registry.scale -> ?nprocs:int -> ?jobs:int -> string list -> ablation_row list
+
 type protocol_row = {
   pr_app : string;
   pr_protocol : string;
@@ -113,6 +123,16 @@ val protocol_comparison :
   ?scale:Apps.Registry.scale -> ?nprocs:int -> string -> protocol_row list
 (** Baseline (no-detection) runs over single-writer, multi-writer and
     home-based coherence. *)
+
+val protocol_comparison_all :
+  ?scale:Apps.Registry.scale ->
+  ?nprocs:int ->
+  ?names:string list ->
+  ?jobs:int ->
+  unit ->
+  protocol_row list
+(** {!protocol_comparison} over [names] (default the paper's four apps),
+    one pool task per (app, protocol) pair. *)
 
 type fault_row = {
   fs_app : string;
@@ -141,6 +161,7 @@ val fault_sweep_all :
   ?scale:Apps.Registry.scale ->
   ?nprocs:int ->
   ?drops:float list ->
+  ?jobs:int ->
   unit ->
   fault_row list
 
@@ -155,3 +176,6 @@ type retention_row = {
 val site_retention_ablation :
   ?scale:Apps.Registry.scale -> ?nprocs:int -> string -> retention_row
 (** Section 6.1: the cost of single-run program-counter retention. *)
+
+val site_retention_ablation_all :
+  ?scale:Apps.Registry.scale -> ?nprocs:int -> ?jobs:int -> string list -> retention_row list

@@ -28,6 +28,29 @@ let protocol_of_name = function
   | "sequential-consistency" -> Lrc.Config.Seq_consistent
   | s -> invalid_arg (Printf.sprintf "Trace_run: unknown protocol %S" s)
 
+(* Both directions of the transport mapping record/rebuild every field:
+   a recording made with a tuned RTO, backoff ceiling, retry cap or
+   header/ack wire sizes must replay under the identical retransmission
+   timing, never under the current defaults. *)
+
+let transport_meta_of (tc : Sim.Transport.config) : Trace.Codec.transport_meta =
+  {
+    Trace.Codec.tm_initial_rto_ns = tc.Sim.Transport.initial_rto_ns;
+    tm_max_rto_ns = tc.Sim.Transport.max_rto_ns;
+    tm_max_retries = tc.Sim.Transport.max_retries;
+    tm_header_bytes = tc.Sim.Transport.header_bytes;
+    tm_ack_bytes = tc.Sim.Transport.ack_bytes;
+  }
+
+let transport_of_meta (tm : Trace.Codec.transport_meta) : Sim.Transport.config =
+  {
+    Sim.Transport.initial_rto_ns = tm.Trace.Codec.tm_initial_rto_ns;
+    max_rto_ns = tm.Trace.Codec.tm_max_rto_ns;
+    max_retries = tm.Trace.Codec.tm_max_retries;
+    header_bytes = tm.Trace.Codec.tm_header_bytes;
+    ack_bytes = tm.Trace.Codec.tm_ack_bytes;
+  }
+
 let meta_of ~app_name ~scale ~nprocs (cfg : Lrc.Config.t) : Trace.Codec.meta =
   let fault = cfg.Lrc.Config.fault in
   {
@@ -51,11 +74,9 @@ let meta_of ~app_name ~scale ~nprocs (cfg : Lrc.Config.t) : Trace.Codec.meta =
         (fun (p : Sim.Fault.partition) ->
           (p.Sim.Fault.p_a, p.Sim.Fault.p_b, p.Sim.Fault.p_from_ns, p.Sim.Fault.p_until_ns))
         fault.Sim.Fault.partitions;
-    m_transport = cfg.Lrc.Config.transport <> None;
-    m_max_retries =
-      Option.map (fun (tc : Sim.Transport.config) -> tc.Sim.Transport.max_retries)
-        cfg.Lrc.Config.transport;
+    m_transport = Option.map transport_meta_of cfg.Lrc.Config.transport;
     m_watchdog_ns = cfg.Lrc.Config.watchdog_ns;
+    m_gc_epochs = cfg.Lrc.Config.gc_epochs;
   }
 
 let config_of_meta (m : Trace.Codec.meta) : Lrc.Config.t =
@@ -81,15 +102,9 @@ let config_of_meta (m : Trace.Codec.meta) : Lrc.Config.t =
               { Sim.Fault.p_a; p_b; p_from_ns; p_until_ns })
             m.Trace.Codec.m_partitions;
       };
-    transport =
-      (if m.Trace.Codec.m_transport then
-         Some
-           (match m.Trace.Codec.m_max_retries with
-           | Some max_retries ->
-               { Sim.Transport.default_config with Sim.Transport.max_retries }
-           | None -> Sim.Transport.default_config)
-       else None);
+    transport = Option.map transport_of_meta m.Trace.Codec.m_transport;
     watchdog_ns = m.Trace.Codec.m_watchdog_ns;
+    gc_epochs = m.Trace.Codec.m_gc_epochs;
   }
 
 let record ?cost ?(cfg = Lrc.Config.default) ~app_name ~scale ~nprocs () =

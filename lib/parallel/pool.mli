@@ -1,0 +1,59 @@
+(** Fixed-size Domains work pool for embarrassingly parallel simulation
+    sweeps.
+
+    Every task is expected to be a self-contained simulation run: it
+    builds its own cluster, engine, stats and RNGs, touches only
+    read-only shared state (see docs/PARALLEL.md for the audit), and
+    returns a value instead of printing. Under that contract the pool
+    guarantees:
+
+    - {b submission-order results}: [map]/[run] return results in the
+      order tasks were submitted, regardless of completion order, so a
+      parallel sweep renders byte-identically to a sequential one;
+    - {b crash isolation}: a raising task becomes an [Error] result
+      carrying the exception and its backtrace — it never kills a
+      worker or the pool, and the remaining tasks still run;
+    - {b sequential fidelity}: a pool created with [jobs = 1] spawns no
+      domains at all and runs each task inline on the calling domain at
+      submission, making [~jobs:1] executions indistinguishable from
+      code that never heard of the pool. *)
+
+type t
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()], floored at 1 — the default
+    worker count everywhere a [--jobs] flag is offered. *)
+
+val create : ?jobs:int -> unit -> t
+(** Spawn a pool of [jobs] worker domains (default {!default_jobs}).
+    [jobs = 1] is the inline pool: no domains are spawned.
+    Raises [Invalid_argument] if [jobs < 1]. *)
+
+val jobs : t -> int
+
+val shutdown : t -> unit
+(** Stop accepting tasks, run any still-queued tasks on the calling
+    domain, and join every worker. Idempotent. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [create], apply, [shutdown] (also on exception). *)
+
+type failure = {
+  f_exn : exn;  (** the exception the task raised *)
+  f_backtrace : string;  (** its raw backtrace, captured in the worker *)
+}
+
+val run :
+  ?progress:(int -> unit) -> t -> (unit -> 'a) list -> ('a, failure) result list
+(** Submit every thunk, wait for them all, and return their results in
+    submission order. [progress i] is called on the {e calling} domain
+    once task [i] and every earlier task have finished — in index
+    order — so callers can stream deterministic per-task output.
+    Raises [Invalid_argument] after [shutdown]. *)
+
+val map : ?progress:(int -> unit) -> t -> ('a -> 'b) -> 'a list -> ('b, failure) result list
+
+val map_exn : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Like {!map} but re-raises the first (in submission order) failing
+    task's exception, after all tasks have finished — matching what a
+    plain [List.map] would have raised sequentially. *)

@@ -5,10 +5,28 @@
    since the previous event as a varint, and the tag-specific fields.
    Integers use zigzag LEB128 (times are monotone so deltas are small;
    zigzag keeps the odd negative — an ack's cumulative -1 — cheap).
-   Floats (fault probabilities) are 8 fixed little-endian bytes. *)
+   Floats (fault probabilities) are 8 fixed little-endian bytes.
+
+   Format history:
+   - v1: transport recorded as a bool plus the retry cap only; no
+     interval-GC cadence. Decoding a v1 log synthesizes the missing
+     fields from the frozen v1 defaults below.
+   - v2: full transport config (RTO, backoff ceiling, retry cap, header
+     and ack wire sizes) and the interval-GC cadence [m_gc_epochs], so a
+     tuned-transport or GC-enabled recording replays under exactly the
+     configuration that produced it. *)
 
 let magic = "CVMT"
-let version = 1
+let version = 2
+let min_version = 1
+
+type transport_meta = {
+  tm_initial_rto_ns : int;
+  tm_max_rto_ns : int;
+  tm_max_retries : int;
+  tm_header_bytes : int;
+  tm_ack_bytes : int;
+}
 
 type meta = {
   m_app : string;
@@ -27,10 +45,24 @@ type meta = {
   m_spike : float;
   m_spike_ns : int;
   m_partitions : (int * int * int * int) list;  (* a, b, from_ns, until_ns *)
-  m_transport : bool;
-  m_max_retries : int option;
+  m_transport : transport_meta option;
   m_watchdog_ns : int option;
+  m_gc_epochs : int option;
 }
+
+(* The transport defaults that were current while v1 was the format:
+   v1 logs recorded only the retry cap, everything else was implicitly
+   "the default". Frozen here — NOT read from Sim.Transport — so a later
+   change to the live defaults can never silently alter what an old log
+   replays as. *)
+let v1_transport_defaults =
+  {
+    tm_initial_rto_ns = 1_000_000;
+    tm_max_rto_ns = 16_000_000;
+    tm_max_retries = 20;
+    tm_header_bytes = 12;
+    tm_ack_bytes = 32;
+  }
 
 (* --- primitive writers --- *)
 
@@ -138,6 +170,22 @@ let get_kind c : Proto.Race.access_kind =
 
 (* --- metadata --- *)
 
+let put_transport buf tm =
+  put_varint buf tm.tm_initial_rto_ns;
+  put_varint buf tm.tm_max_rto_ns;
+  put_varint buf tm.tm_max_retries;
+  put_varint buf tm.tm_header_bytes;
+  put_varint buf tm.tm_ack_bytes
+
+let get_transport c =
+  let tm_initial_rto_ns = get_varint c in
+  let tm_max_rto_ns = get_varint c in
+  let tm_max_retries = get_varint c in
+  let tm_header_bytes = get_varint c in
+  let tm_ack_bytes = get_varint c in
+  { tm_initial_rto_ns; tm_max_rto_ns; tm_max_retries; tm_header_bytes; tm_ack_bytes }
+
+(* always writes the current (v2) layout *)
 let put_meta buf m =
   put_string buf m.m_app;
   put_string buf m.m_scale;
@@ -161,11 +209,11 @@ let put_meta buf m =
       put_varint buf from_ns;
       put_varint buf until_ns)
     m.m_partitions;
-  put_bool buf m.m_transport;
-  put_opt buf put_varint m.m_max_retries;
-  put_opt buf put_varint m.m_watchdog_ns
+  put_opt buf put_transport m.m_transport;
+  put_opt buf put_varint m.m_watchdog_ns;
+  put_opt buf put_varint m.m_gc_epochs
 
-let get_meta c =
+let get_meta ~version c =
   let m_app = get_string c in
   let m_scale = get_string c in
   let m_nprocs = get_varint c in
@@ -189,9 +237,28 @@ let get_meta c =
         let until_ns = get_varint c in
         (a, b, from_ns, until_ns))
   in
-  let m_transport = get_bool c in
-  let m_max_retries = get_opt c get_varint in
-  let m_watchdog_ns = get_opt c get_varint in
+  let m_transport, m_watchdog_ns, m_gc_epochs =
+    if version = 1 then begin
+      (* v1 tail: transport flag + retry cap + watchdog; no GC cadence *)
+      let transport_on = get_bool c in
+      let max_retries = get_opt c get_varint in
+      let watchdog = get_opt c get_varint in
+      let transport =
+        if not transport_on then None
+        else
+          Some
+            (match max_retries with
+            | Some tm_max_retries -> { v1_transport_defaults with tm_max_retries }
+            | None -> v1_transport_defaults)
+      in
+      (transport, watchdog, None)
+    end
+    else
+      let transport = get_opt c get_transport in
+      let watchdog = get_opt c get_varint in
+      let gc_epochs = get_opt c get_varint in
+      (transport, watchdog, gc_epochs)
+  in
   {
     m_app;
     m_scale;
@@ -210,8 +277,8 @@ let get_meta c =
     m_spike_ns;
     m_partitions;
     m_transport;
-    m_max_retries;
     m_watchdog_ns;
+    m_gc_epochs;
   }
 
 (* --- events --- *)
@@ -494,11 +561,19 @@ type decoded = { meta : meta; events : (int * Event.t) array }
 let decode s =
   if String.length s < 5 || String.sub s 0 4 <> magic then
     raise (Corrupt "not a CVM trace log (bad magic)");
-  (match Char.code s.[4] with
-  | v when v = version -> ()
-  | v -> fail "unsupported trace format version %d (expected %d)" v version);
+  let log_version = Char.code s.[4] in
+  if log_version > version then
+    fail
+      "trace log format v%d is newer than this build supports (max v%d) — replay it with \
+       the build that recorded it, or re-record"
+      log_version version;
+  if log_version < min_version then
+    fail
+      "trace log format v%d is older than the minimum this build supports (v%d) — replay \
+       it with the build that recorded it"
+      log_version min_version;
   let c = { src = s; pos = 5 } in
-  let meta = get_meta c in
+  let meta = get_meta ~version:log_version c in
   let events = ref [] in
   let last_time = ref 0 in
   while c.pos < String.length s do

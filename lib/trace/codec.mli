@@ -6,11 +6,28 @@
     cluster configuration from it. *)
 
 val magic : string
+
 val version : int
+(** The format version this build writes (v2). *)
+
+val min_version : int
+(** The oldest format version this build still decodes (v1: no
+    transport tuning beyond the retry cap, no interval-GC cadence). *)
+
+type transport_meta = {
+  tm_initial_rto_ns : int;
+  tm_max_rto_ns : int;
+  tm_max_retries : int;
+  tm_header_bytes : int;
+  tm_ack_bytes : int;
+}
+(** The full reliable-transport configuration — every field that can
+    change retransmission timing or wire accounting is recorded, so a
+    tuned-transport recording replays under the exact same transport. *)
 
 type meta = {
   m_app : string;
-  m_scale : string;  (** "paper" or "small" *)
+  m_scale : string;  (** "paper", "small" or "large" *)
   m_nprocs : int;
   m_protocol : string;  (** {!Lrc.Config.protocol_name} *)
   m_detect : bool;
@@ -25,10 +42,14 @@ type meta = {
   m_spike : float;
   m_spike_ns : int;
   m_partitions : (int * int * int * int) list;  (** a, b, from_ns, until_ns *)
-  m_transport : bool;
-  m_max_retries : int option;
+  m_transport : transport_meta option;
   m_watchdog_ns : int option;
+  m_gc_epochs : int option;  (** interval-GC cadence; [None] before v2 *)
 }
+
+val v1_transport_defaults : transport_meta
+(** The transport defaults frozen at the v1 format: decoding a v1 log
+    that ran the transport yields these with the recorded retry cap. *)
 
 exception Corrupt of string
 (** Raised by {!decode} on a malformed log. *)
@@ -52,8 +73,10 @@ val encode : meta -> (int * Event.t) array -> string
 type decoded = { meta : meta; events : (int * Event.t) array }
 
 val decode : string -> decoded
-(** Parse a complete log. Raises {!Corrupt} on bad magic, an unsupported
-    version, or a truncated/garbled record. *)
+(** Parse a complete log. Raises {!Corrupt} on bad magic, a truncated or
+    garbled record, or a format version outside
+    [[min_version, version]] — the error says explicitly whether the log
+    is too old or too new, never a misleading field-level decode crash. *)
 
 val event_bytes : Event.t -> int
 (** Encoded size of one event record, excluding the time delta — used by

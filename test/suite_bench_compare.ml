@@ -1,0 +1,99 @@
+(* The benchmark regression gate's decision logic (Compare_core), on
+   synthetic runs. The CLI is a thin wrapper, so these cover everything
+   that decides the exit code. *)
+
+let check = Alcotest.check
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let entry ?(wall = 1.0) ?(races = 3) ?(checksum = 0xbeef) ?(sim = 5_000) ?(bytes = 4096)
+    ?(nprocs = 8) name =
+  {
+    Compare_core.key = (name, "small", nprocs, true, "single-writer");
+    wall_s = wall;
+    sim_time_ns = sim;
+    races;
+    mem_checksum = checksum;
+    bytes;
+  }
+
+let gate ?threshold_pct ?ignore_wall baseline current =
+  Compare_core.compare_runs ?threshold_pct ?ignore_wall ~baseline ~current ()
+
+let test_identical_passes () =
+  let run = [ entry "sor"; entry "fft" ] in
+  let r = gate run run in
+  check Alcotest.bool "identical runs pass" true (Compare_core.passed r);
+  check Alcotest.int "both entries compared" 2 r.Compare_core.compared
+
+let test_missing_baseline_entry_fails () =
+  (* a sweep point that silently disappears from the current run must
+     fail the gate, not print a note *)
+  let baseline = [ entry "sor"; entry "fft" ] and current = [ entry "sor" ] in
+  let r = gate baseline current in
+  check Alcotest.bool "missing entry fails" false (Compare_core.passed r);
+  check Alcotest.int "exactly one failure" 1 r.Compare_core.failures;
+  check Alcotest.bool "the failure names the missing point" true
+    (List.exists
+       (fun l ->
+         String.length l >= 4 && String.sub l 0 4 = "FAIL"
+         && contains l "missing from current run")
+       r.Compare_core.lines)
+
+let test_extra_current_entry_passes () =
+  (* the other direction — the suite grew — is fine *)
+  let baseline = [ entry "sor" ] and current = [ entry "sor"; entry "fft" ] in
+  let r = gate baseline current in
+  check Alcotest.bool "extra current entry passes" true (Compare_core.passed r)
+
+let test_wall_regression_fails () =
+  let baseline = [ entry ~wall:1.0 "sor" ] and current = [ entry ~wall:1.5 "sor" ] in
+  let r = gate ~threshold_pct:15.0 baseline current in
+  check Alcotest.bool "50% slower fails a 15% threshold" false (Compare_core.passed r)
+
+let test_wall_noise_floor () =
+  (* huge ratio, tiny absolute drift: under the 50 ms floor, never fails *)
+  let baseline = [ entry ~wall:0.010 "sor" ] and current = [ entry ~wall:0.040 "sor" ] in
+  let r = gate ~threshold_pct:15.0 baseline current in
+  check Alcotest.bool "sub-noise-floor drift passes" true (Compare_core.passed r)
+
+let test_ignore_wall () =
+  let baseline = [ entry ~wall:1.0 "sor" ] and current = [ entry ~wall:10.0 "sor" ] in
+  let r = gate ~ignore_wall:true baseline current in
+  check Alcotest.bool "--ignore-wall skips the wall check" true (Compare_core.passed r)
+
+let test_deterministic_drift_fails_despite_ignore_wall () =
+  let baseline = [ entry ~races:3 "sor" ] and current = [ entry ~races:4 "sor" ] in
+  let r = gate ~ignore_wall:true baseline current in
+  check Alcotest.bool "race-count drift fails even with --ignore-wall" false
+    (Compare_core.passed r)
+
+let test_checksum_drift_fails () =
+  let baseline = [ entry ~checksum:1 "sor" ] and current = [ entry ~checksum:2 "sor" ] in
+  check Alcotest.bool "checksum drift fails" false (Compare_core.passed (gate baseline current))
+
+let test_nothing_comparable_fails () =
+  let r = gate [ entry "sor" ~nprocs:4 ] [ entry "sor" ~nprocs:8 ] in
+  check Alcotest.int "no shared keys" 0 r.Compare_core.compared;
+  check Alcotest.bool "an empty comparison never passes" false (Compare_core.passed r)
+
+let suite =
+  [
+    ( "bench-compare",
+      [
+        Alcotest.test_case "identical runs pass" `Quick test_identical_passes;
+        Alcotest.test_case "missing baseline entry fails" `Quick
+          test_missing_baseline_entry_fails;
+        Alcotest.test_case "extra current entry passes" `Quick test_extra_current_entry_passes;
+        Alcotest.test_case "wall regression fails" `Quick test_wall_regression_fails;
+        Alcotest.test_case "noise floor" `Quick test_wall_noise_floor;
+        Alcotest.test_case "--ignore-wall" `Quick test_ignore_wall;
+        Alcotest.test_case "deterministic drift beats --ignore-wall" `Quick
+          test_deterministic_drift_fails_despite_ignore_wall;
+        Alcotest.test_case "checksum drift fails" `Quick test_checksum_drift_fails;
+        Alcotest.test_case "nothing comparable fails" `Quick test_nothing_comparable_fails;
+      ] );
+  ]

@@ -7,9 +7,10 @@
    pure performance change.
 
    Two layers:
-   - combo sampling: a handful of pinned combos (one per combo family)
-     run on every `dune runtest`, and a qcheck property samples the rest
-     of the combo space randomly;
+   - the combo matrix: a handful of pinned combos (one per combo family)
+     give named, fast-failing coverage, and the FULL combo space then
+     runs fanned out over a Parallel.Pool — every combo, every
+     `dune runtest`, not a random sample;
    - cross-version replay: binary trace logs recorded by the
      pre-optimization build replay against the current build and must
      produce identical event streams, races and checksums. *)
@@ -73,21 +74,25 @@ let test_golden_is_complete () =
   in
   check (Alcotest.list Alcotest.string) "combos without goldens" [] missing
 
-let prop_sampled_combo_matches_golden =
-  (* random sampling over the whole combo space; shrinking walks toward
-     index 0, so a failure reports the earliest (most basic) failing
-     combo *)
-  let n = List.length Equiv_combos.all in
-  QCheck.Test.make ~name:"sampled combo matches pre-optimization golden" ~count:12
-    QCheck.(int_bound (n - 1))
-    (fun i ->
-      let combo = List.nth Equiv_combos.all i in
-      let label = combo.Equiv_combos.label in
-      let expected = golden_for label and actual = Equiv_combos.run combo in
-      if expected = actual then true
-      else
-        QCheck.Test.fail_reportf "combo %s diverged from golden:@.%a@.vs recorded:@.%a"
-          label Equiv_combos.pp_result actual Equiv_combos.pp_result expected)
+let test_full_matrix () =
+  (* the whole combo space, one pool task per combo. [Equiv_combos.run]
+     builds the app and cluster inside the task and the golden lookup
+     happens back on this domain, so the matrix is safe at any job
+     count; on a many-core host it finishes in wall-clock over jobs. *)
+  let combos = Equiv_combos.all in
+  let results =
+    Parallel.Pool.with_pool ~jobs:(Parallel.Pool.default_jobs ()) (fun pool ->
+        Parallel.Pool.map_exn pool Equiv_combos.run combos)
+  in
+  let diverged =
+    List.filter_map
+      (fun ((c : Equiv_combos.combo), actual) ->
+        let label = c.Equiv_combos.label in
+        if golden_for label = actual then None else Some label)
+      (List.combine combos results)
+  in
+  check (Alcotest.list Alcotest.string) "combos diverging from pre-optimization golden" []
+    diverged
 
 (* ------------------------------------------------------------------ *)
 (* Interval GC is a storage policy: with any cadence, the race set must
@@ -138,7 +143,7 @@ let suite =
       @ List.map
           (fun label -> Alcotest.test_case ("pinned " ^ label) `Quick (test_combo label))
           pinned
-      @ [ QCheck_alcotest.to_alcotest prop_sampled_combo_matches_golden ]
+      @ [ Alcotest.test_case "full combo matrix matches golden" `Quick test_full_matrix ]
       @ List.map
           (fun (label, checksum) ->
             Alcotest.test_case ("gc-differential " ^ label) `Quick

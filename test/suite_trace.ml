@@ -23,9 +23,10 @@ let sample_meta =
     m_spike = 0.01;
     m_spike_ns = 2_000_000;
     m_partitions = [ (0, 1, 5_000, 10_000); (2, 3, 0, max_int) ];
-    m_transport = true;
-    m_max_retries = Some 5;
+    m_transport =
+      Some { Trace.Codec.v1_transport_defaults with Trace.Codec.tm_max_retries = 5 };
     m_watchdog_ns = Some 200_000_000;
+    m_gc_epochs = Some 2;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -268,6 +269,112 @@ let test_log_only_reconstruction () =
   check Alcotest.int "stats cover every event" (Array.length decoded.Trace.Codec.events) total
 
 (* ------------------------------------------------------------------ *)
+(* Meta completeness: every config knob that changes the simulation is
+   in the log, so replay can never silently run a different config.
+   The gc-epochs case is the regression that motivated format v2: the
+   cadence was missing from the meta, so a --gc-epochs recording
+   replayed with GC off and diverged. *)
+
+let test_gc_epochs_record_replay () =
+  let cfg =
+    {
+      Lrc.Config.default with
+      Lrc.Config.protocol = Lrc.Config.Multi_writer;
+      gc_epochs = Some 2;
+    }
+  in
+  let _, log =
+    Core.Trace_run.record ~cfg ~app_name:"sor" ~scale:Apps.Registry.Small ~nprocs:4 ()
+  in
+  let decoded = Trace.Codec.decode log in
+  check
+    (Alcotest.option Alcotest.int)
+    "GC cadence recorded in the meta" (Some 2)
+    decoded.Trace.Codec.meta.Trace.Codec.m_gc_epochs;
+  let r = Core.Trace_run.replay log in
+  (match r.Core.Trace_run.rr_divergence with
+  | None -> ()
+  | Some d ->
+      Alcotest.failf "gc-epochs recording diverged on replay: %s"
+        (Format.asprintf "%a" Trace.Replay.pp_divergence d));
+  check Alcotest.bool "gc-epochs replay clean" true (Core.Trace_run.clean r)
+
+let test_tuned_transport_record_replay () =
+  let tuned =
+    {
+      Sim.Transport.initial_rto_ns = 2_500_000;
+      max_rto_ns = 40_000_000;
+      max_retries = 7;
+      header_bytes = 20;
+      ack_bytes = 48;
+    }
+  in
+  let cfg =
+    {
+      Lrc.Config.default with
+      Lrc.Config.fault = { Sim.Fault.none with Sim.Fault.drop = 0.2 };
+      transport = Some tuned;
+    }
+  in
+  let _, log =
+    Core.Trace_run.record ~cfg ~app_name:"sor" ~scale:Apps.Registry.Small ~nprocs:4 ()
+  in
+  let m = (Trace.Codec.decode log).Trace.Codec.meta in
+  (match m.Trace.Codec.m_transport with
+  | None -> Alcotest.fail "transport config missing from the meta"
+  | Some tm ->
+      check Alcotest.int "initial RTO recorded" 2_500_000 tm.Trace.Codec.tm_initial_rto_ns;
+      check Alcotest.int "RTO ceiling recorded" 40_000_000 tm.Trace.Codec.tm_max_rto_ns;
+      check Alcotest.int "retry cap recorded" 7 tm.Trace.Codec.tm_max_retries;
+      check Alcotest.int "header bytes recorded" 20 tm.Trace.Codec.tm_header_bytes;
+      check Alcotest.int "ack bytes recorded" 48 tm.Trace.Codec.tm_ack_bytes);
+  let r = Core.Trace_run.replay log in
+  check Alcotest.bool "tuned-transport replay clean" true (Core.Trace_run.clean r)
+
+(* `dune runtest` runs with the test directory as cwd; `dune exec
+   test/test_main.exe` runs from the workspace root *)
+let golden_file name =
+  let local = Filename.concat "golden" name in
+  if Sys.file_exists local then local else Filename.concat "test/golden" name
+
+let test_v1_log_decodes_with_frozen_defaults () =
+  (* the checked-in pre-optimization logs are format v1: no GC cadence
+     existed when they were recorded, and their transport ran the
+     defaults frozen in the codec — decoding must say so, not guess
+     from today's defaults *)
+  let decoded = Trace.Codec.decode (Core.Trace_run.load (golden_file "pre_opt_sor_drop.cvmt")) in
+  let m = decoded.Trace.Codec.meta in
+  check (Alcotest.option Alcotest.int) "v1 log has no GC cadence" None
+    m.Trace.Codec.m_gc_epochs;
+  (match m.Trace.Codec.m_transport with
+  | None -> Alcotest.fail "lossy v1 log should carry a transport config"
+  | Some tm ->
+      check Alcotest.int "v1 frozen initial RTO"
+        Trace.Codec.v1_transport_defaults.Trace.Codec.tm_initial_rto_ns
+        tm.Trace.Codec.tm_initial_rto_ns;
+      check Alcotest.int "v1 frozen header bytes"
+        Trace.Codec.v1_transport_defaults.Trace.Codec.tm_header_bytes
+        tm.Trace.Codec.tm_header_bytes)
+
+let test_version_window_messages () =
+  let msg_of s = match Trace.Codec.decode s with
+    | _ -> "decoded successfully"
+    | exception Trace.Codec.Corrupt msg -> msg
+  in
+  let log = Trace.Codec.encode sample_meta [| (0, Trace.Event.Proc_finish { proc = 0 }) |] in
+  let with_version v =
+    let b = Bytes.of_string log in
+    Bytes.set b 4 (Char.chr v);
+    Bytes.to_string b
+  in
+  let newer = msg_of (with_version (Trace.Codec.version + 1)) in
+  check Alcotest.bool "future version says the log is too new" true
+    (Testutil.contains newer "newer");
+  let older = msg_of (with_version 0) in
+  check Alcotest.bool "prehistoric version says the log is too old" true
+    (Testutil.contains older "older")
+
+(* ------------------------------------------------------------------ *)
 (* Chrome export smoke                                                  *)
 
 let test_chrome_export () =
@@ -311,6 +418,16 @@ let suite =
         Alcotest.test_case "mutated event pinpointed" `Quick test_first_divergence_pinpointed;
         Alcotest.test_case "short live stream flagged" `Quick
           test_truncated_live_stream_diverges;
+      ] );
+    ( "trace:meta",
+      [
+        Alcotest.test_case "gc-epochs recorded and replayed" `Quick
+          test_gc_epochs_record_replay;
+        Alcotest.test_case "tuned transport recorded and replayed" `Quick
+          test_tuned_transport_record_replay;
+        Alcotest.test_case "v1 log decodes with frozen defaults" `Quick
+          test_v1_log_decodes_with_frozen_defaults;
+        Alcotest.test_case "version window messages" `Quick test_version_window_messages;
       ] );
     ( "trace:offline",
       [

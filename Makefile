@@ -11,7 +11,10 @@ test:
 	dune runtest
 
 # The tier-1 gate: build, tests, the static-analysis report
-# (classification, batching, lint) over every application, a
+# (classification, batching, lint) over every application — plus the
+# MHP pair analysis diffed against the checked-in expected-warnings
+# baseline (test/analyze_expect.txt), so a new static race warning or
+# a silently vanished one fails CI — a
 # lossy-network smoke test (20% drop must reproduce the clean run's
 # races and survive retransmission), record->replay smoke tests
 # (a lossy run's trace log and an interval-GC run's trace log must both
@@ -31,7 +34,9 @@ check:
 	dune build
 	dune runtest
 	dune exec bin/cvm_race.exe -- analyze --all
+	dune exec bin/cvm_race.exe -- analyze --all --mhp --json _build/analyze.json --expect test/analyze_expect.txt
 	dune exec bin/cvm_race.exe -- run sor --scale small -p 4 --drop 0.2 --watchdog 500
+	dune exec bin/cvm_race.exe -- run water --scale small -p 4 --elide
 	dune exec bin/cvm_race.exe -- record sor --scale small -p 4 --drop 0.2 -o _build/sor.cvmt
 	dune exec bin/cvm_race.exe -- replay _build/sor.cvmt
 	dune exec bin/cvm_race.exe -- replay --log-only _build/sor.cvmt

@@ -1,7 +1,9 @@
 (* The benchmark regression gate's decision logic, split from the CLI so
    the unit suite can drive it on synthetic runs.
 
-   Sweep entries are matched on (app, scale, nprocs, detect, protocol);
+   Sweep entries are matched on (app, scale, nprocs, detect, elide,
+   protocol) — [elide] defaults to false when the field is absent, so
+   baselines recorded before instrumentation elision existed still match;
    for every pair the gate checks that
 
      - wall-clock has not regressed by more than the threshold (default
@@ -22,7 +24,8 @@
 let noise_floor_s = 0.050
 
 type entry = {
-  key : string * string * int * bool * string;  (* app, scale, nprocs, detect, protocol *)
+  key : string * string * int * bool * bool * string;
+      (* app, scale, nprocs, detect, elide, protocol *)
   wall_s : float;
   sim_time_ns : int;
   races : int;
@@ -38,6 +41,7 @@ let entry_of_json v =
         to_string_exn (member "scale" v),
         to_int_exn (member "nprocs" v),
         to_bool_exn (member "detect" v),
+        (match member "elide" v with Bool b -> b | _ -> false),
         to_string_exn (member "protocol" v) );
     wall_s = to_float_exn (member "wall_s" v);
     sim_time_ns = to_int_exn (member "sim_time_ns" v);
@@ -56,9 +60,10 @@ let load path =
   try entries_of_json (Bench_json.of_file path)
   with Failure msg -> failwith (Printf.sprintf "%s: %s" path msg)
 
-let key_string (app, scale, nprocs, detect, protocol) =
-  Printf.sprintf "%s/%s p=%d %s %s" app scale nprocs
+let key_string (app, scale, nprocs, detect, elide, protocol) =
+  Printf.sprintf "%s/%s p=%d %s%s %s" app scale nprocs
     (if detect then "detect" else "no-detect")
+    (if elide then "+elide" else "")
     protocol
 
 type report = { lines : string list; compared : int; failures : int }

@@ -6,8 +6,10 @@ val noise_floor_s : float
     fails, however large the ratio — keeps CI-sized runs unflaky. *)
 
 type entry = {
-  key : string * string * int * bool * string;
-      (** app, scale, nprocs, detect, protocol — the match key *)
+  key : string * string * int * bool * bool * string;
+      (** app, scale, nprocs, detect, elide, protocol — the match key;
+          [elide] reads as false when the field is absent, so baselines
+          predating instrumentation elision still match *)
   wall_s : float;
   sim_time_ns : int;
   races : int;
@@ -24,7 +26,7 @@ val entries_of_json : Bench_json.t -> entry list
 val load : string -> entry list
 (** [entries_of_json] over a file, with the path prefixed to errors. *)
 
-val key_string : string * string * int * bool * string -> string
+val key_string : string * string * int * bool * bool * string -> string
 
 type report = {
   lines : string list;  (** human-readable, one per comparison or note *)

@@ -212,9 +212,15 @@ let run_faults () =
 
 let sweep_entries : Bench_json.t list ref = ref []
 
-let bench_point ~nprocs ~detect name =
+let bench_point ~nprocs ~detect ?(elide = false) name =
   let app = Apps.Registry.make ~scale:!scale name in
-  let cfg = { Lrc.Config.default with Lrc.Config.detect } in
+  let cfg =
+    {
+      Lrc.Config.default with
+      Lrc.Config.detect;
+      elide_sites = (if elide then Some [] else None);
+    }
+  in
   (* level the heap between points so one entry's garbage does not bill
      the next entry's collector *)
   Gc.full_major ();
@@ -232,6 +238,8 @@ let bench_point ~nprocs ~detect name =
         ("scale", String (scale_name ()));
         ("nprocs", Int nprocs);
         ("detect", Bool detect);
+        ("elide", Bool elide);
+        ("elided_checks", Int stats.Sim.Stats.elided_checks);
         ("protocol", String (Lrc.Config.protocol_name cfg.Lrc.Config.protocol));
         ("wall_s", Float (t1 -. t0));
         ("sim_time_ns", Int outcome.Core.Driver.sim_time_ns);
@@ -263,7 +271,7 @@ let bench_point ~nprocs ~detect name =
   let line =
     Printf.sprintf "%-6s p=%-3d %s  %8.2fs wall  %10d ns sim  %9.2e minor words  %d races"
       (String.lowercase_ascii name) nprocs
-      (if detect then "detect   " else "no-detect")
+      (if detect && elide then "det+elide" else if detect then "detect   " else "no-detect")
       (t1 -. t0) outcome.Core.Driver.sim_time_ns
       (g1.Gc.minor_words -. g0.Gc.minor_words)
       (List.length outcome.Core.Driver.races)
@@ -291,16 +299,17 @@ let run_sweep () =
   let points =
     List.concat_map
       (fun name ->
-        List.map (fun nprocs -> (name, nprocs, true)) procs
-        (* one uninstrumented point per app anchors the slowdown *)
-        @ [ (name, List.hd procs, false) ])
+        List.map (fun nprocs -> (name, nprocs, true, false)) procs
+        (* one uninstrumented point per app anchors the slowdown, and one
+           elision point measures how much the static MHP analysis buys *)
+        @ [ (name, List.hd procs, false, false); (name, List.hd procs, true, true) ])
       names
   in
   wall (fun () ->
       let results =
         Parallel.Pool.with_pool ~jobs:!jobs (fun pool ->
             Parallel.Pool.map_exn pool
-              (fun (name, nprocs, detect) -> bench_point ~nprocs ~detect name)
+              (fun (name, nprocs, detect, elide) -> bench_point ~nprocs ~detect ~elide name)
               points)
       in
       List.iter

@@ -141,9 +141,17 @@ let jobs_arg =
   in
   Arg.(value & opt int (Parallel.Pool.default_jobs ()) & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
+let elide_arg =
+  let doc =
+    "Skip the runtime race check at sites the static MHP analysis proves race-free \
+     (instrumentation elision). Race reports are unchanged; only the check cost drops."
+  in
+  Arg.(value & flag & info [ "elide" ] ~doc)
+
 let ppf = Format.std_formatter
 
-let config ~protocol ~no_detect ~first_race_only ~stores_from_diffs ~oracle ~gc_epochs =
+let config ~protocol ~no_detect ~first_race_only ~stores_from_diffs ~oracle ~gc_epochs
+    ~elide =
   {
     Lrc.Config.default with
     protocol;
@@ -152,6 +160,7 @@ let config ~protocol ~no_detect ~first_race_only ~stores_from_diffs ~oracle ~gc_
     stores_from_diffs;
     record_trace = oracle;
     gc_epochs;
+    elide_sites = (if elide then Some [] else None);
   }
 
 let net_config cfg ~drop ~dup ~reorder ~partitions ~net_seed ~watchdog_ms ~max_retries
@@ -198,11 +207,12 @@ let print_outcome (outcome : Core.Driver.outcome) =
 
 let run_command =
   let run app_name procs scale protocol no_detect first_race_only stores_from_diffs
-      gc_epochs slowdown oracle drop dup reorder partitions net_seed watchdog_ms
+      gc_epochs elide slowdown oracle drop dup reorder partitions net_seed watchdog_ms
       max_retries transport =
     let app = Apps.Registry.make ~scale app_name in
     let cfg =
       config ~protocol ~no_detect ~first_race_only ~stores_from_diffs ~oracle ~gc_epochs
+        ~elide
     in
     let cfg =
       net_config cfg ~drop ~dup ~reorder ~partitions ~net_seed ~watchdog_ms ~max_retries
@@ -235,11 +245,11 @@ let run_command =
     end
   in
   let run app_name procs scale protocol no_detect first_race_only stores_from_diffs
-      gc_epochs slowdown oracle drop dup reorder partitions net_seed watchdog_ms
+      gc_epochs elide slowdown oracle drop dup reorder partitions net_seed watchdog_ms
       max_retries transport =
     try
       run app_name procs scale protocol no_detect first_race_only stores_from_diffs
-        gc_epochs slowdown oracle drop dup reorder partitions net_seed watchdog_ms
+        gc_epochs elide slowdown oracle drop dup reorder partitions net_seed watchdog_ms
         max_retries transport
     with Sim.Engine.Deadlock diagnosis ->
       Format.fprintf ppf "DEADLOCK@.%s@." (Sim.Engine.diagnosis_to_string diagnosis);
@@ -247,9 +257,9 @@ let run_command =
   in
   let term =
     Term.(const run $ app_arg $ procs_arg $ scale_arg $ protocol_arg $ no_detect_arg
-        $ first_race_arg $ diff_stores_arg $ gc_epochs_arg $ slowdown_arg $ oracle_arg
-        $ drop_arg $ dup_arg $ reorder_arg $ partition_arg $ net_seed_arg $ watchdog_arg
-        $ max_retries_arg $ transport_arg)
+        $ first_race_arg $ diff_stores_arg $ gc_epochs_arg $ elide_arg $ slowdown_arg
+        $ oracle_arg $ drop_arg $ dup_arg $ reorder_arg $ partition_arg $ net_seed_arg
+        $ watchdog_arg $ max_retries_arg $ transport_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run an application under online race detection.") term
 
@@ -288,10 +298,11 @@ let record_command =
     Arg.(value & opt string "run.cvmt" & info [ "o"; "output" ] ~docv:"FILE" ~doc)
   in
   let record app_name procs scale protocol no_detect first_race_only stores_from_diffs
-      gc_epochs drop dup reorder partitions net_seed watchdog_ms max_retries transport out =
+      gc_epochs elide drop dup reorder partitions net_seed watchdog_ms max_retries
+      transport out =
     let cfg =
       config ~protocol ~no_detect ~first_race_only ~stores_from_diffs ~oracle:false
-        ~gc_epochs
+        ~gc_epochs ~elide
     in
     let cfg =
       net_config cfg ~drop ~dup ~reorder ~partitions ~net_seed ~watchdog_ms ~max_retries
@@ -308,19 +319,21 @@ let record_command =
       (String.length log) out
   in
   let record app_name procs scale protocol no_detect first_race_only stores_from_diffs
-      gc_epochs drop dup reorder partitions net_seed watchdog_ms max_retries transport out =
+      gc_epochs elide drop dup reorder partitions net_seed watchdog_ms max_retries
+      transport out =
     try
       record app_name procs scale protocol no_detect first_race_only stores_from_diffs
-        gc_epochs drop dup reorder partitions net_seed watchdog_ms max_retries transport out
+        gc_epochs elide drop dup reorder partitions net_seed watchdog_ms max_retries
+        transport out
     with Sim.Engine.Deadlock diagnosis ->
       Format.fprintf ppf "DEADLOCK@.%s@." (Sim.Engine.diagnosis_to_string diagnosis);
       exit 2
   in
   let term =
     Term.(const record $ app_arg $ procs_arg $ scale_arg $ protocol_arg $ no_detect_arg
-        $ first_race_arg $ diff_stores_arg $ gc_epochs_arg $ drop_arg $ dup_arg
-        $ reorder_arg $ partition_arg $ net_seed_arg $ watchdog_arg $ max_retries_arg
-        $ transport_arg $ out_arg)
+        $ first_race_arg $ diff_stores_arg $ gc_epochs_arg $ elide_arg $ drop_arg
+        $ dup_arg $ reorder_arg $ partition_arg $ net_seed_arg $ watchdog_arg
+        $ max_retries_arg $ transport_arg $ out_arg)
   in
   Cmd.v
     (Cmd.info "record"
@@ -508,6 +521,102 @@ let sweep_command =
           timed harness with JSON output lives in bench/main.exe.")
     term
 
+(* --- analyze: static pass, MHP pair report, JSON and baseline modes --- *)
+
+let json_of_warning (w : Instrument.Static_analysis.warning) =
+  Bench_json.Obj
+    [
+      ("proc", Bench_json.String w.Instrument.Static_analysis.w_proc);
+      ("site", Bench_json.String w.Instrument.Static_analysis.w_site);
+      ( "kind",
+        Bench_json.String
+          (match w.Instrument.Static_analysis.w_kind with
+          | Instrument.Binary.Load -> "load"
+          | Instrument.Binary.Store -> "store") );
+      ("region", Bench_json.String w.Instrument.Static_analysis.w_region);
+      ("other_site", Bench_json.String w.Instrument.Static_analysis.w_other_site);
+      ( "other_locks",
+        Bench_json.List
+          (List.map (fun l -> Bench_json.Int l) w.Instrument.Static_analysis.w_other_locks)
+      );
+    ]
+
+let json_of_side (s : Instrument.Mhp.side) =
+  Bench_json.Obj
+    [
+      ("site", Bench_json.String s.Instrument.Mhp.s_site);
+      ( "kind",
+        Bench_json.String
+          (match s.Instrument.Mhp.s_kind with
+          | Instrument.Binary.Load -> "load"
+          | Instrument.Binary.Store -> "store") );
+      ("locks", Bench_json.List (List.map (fun l -> Bench_json.Int l) s.Instrument.Mhp.s_locks));
+    ]
+
+let json_of_mhp (r : Instrument.Mhp.report) =
+  let sites ss = Bench_json.List (List.map (fun s -> Bench_json.String s) ss) in
+  Bench_json.Obj
+    [
+      ( "pairs",
+        Bench_json.List
+          (List.map
+             (fun (p : Instrument.Mhp.pair) ->
+               Bench_json.Obj
+                 [
+                   ("proc", Bench_json.String p.Instrument.Mhp.p_proc);
+                   ( "severity",
+                     Bench_json.String
+                       (Instrument.Mhp.severity_name p.Instrument.Mhp.p_severity) );
+                   ("region", Bench_json.String p.Instrument.Mhp.p_region);
+                   ( "phases",
+                     Bench_json.List
+                       (List.map (fun ph -> Bench_json.Int ph) p.Instrument.Mhp.p_phases) );
+                   ("a", json_of_side p.Instrument.Mhp.p_a);
+                   ("b", json_of_side p.Instrument.Mhp.p_b);
+                 ])
+             r.Instrument.Mhp.pairs) );
+      ("may_race_sites", sites r.Instrument.Mhp.may_race_sites);
+      ("race_free_sites", sites r.Instrument.Mhp.race_free_sites);
+      ("shared_sites", sites r.Instrument.Mhp.shared_sites);
+    ]
+
+let json_of_analysis ~name (result : Instrument.Static_analysis.result) mhp =
+  let c = result.Instrument.Static_analysis.classification in
+  Bench_json.Obj
+    [
+      ("app", Bench_json.String name);
+      ( "classification",
+        Bench_json.Obj
+          [
+            ("stack", Bench_json.Int c.Instrument.Static_analysis.stack);
+            ("static", Bench_json.Int c.Instrument.Static_analysis.static_data);
+            ("proven_private", Bench_json.Int c.Instrument.Static_analysis.proven_private);
+            ("library", Bench_json.Int c.Instrument.Static_analysis.library);
+            ("cvm", Bench_json.Int c.Instrument.Static_analysis.cvm);
+            ("instrumented", Bench_json.Int c.Instrument.Static_analysis.instrumented);
+          ] );
+      ("batched_checks", Bench_json.Int result.Instrument.Static_analysis.batched_checks);
+      ( "check_cost_scale",
+        Bench_json.Float result.Instrument.Static_analysis.check_cost_scale );
+      ( "warnings",
+        Bench_json.List
+          (List.map json_of_warning result.Instrument.Static_analysis.warnings) );
+      ("mhp", match mhp with Some r -> json_of_mhp r | None -> Bench_json.Null);
+    ]
+
+let read_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> ());
+      List.rev (List.filter (fun l -> String.trim l <> "") !lines))
+
 let analyze_command =
   let app_opt_arg =
     let doc = "Application to analyze: fft, sor, tsp, water or lu." in
@@ -517,7 +626,26 @@ let analyze_command =
     let doc = "Analyze every application, including the extra workloads." in
     Arg.(value & flag & info [ "all" ] ~doc)
   in
-  let analyze app_name all scale =
+  let mhp_arg =
+    let doc =
+      "Also run the whole-program may-happen-in-parallel analysis and print the pairwise \
+       static race report (witness region, phases and locksets per pair)."
+    in
+    Arg.(value & flag & info [ "mhp" ] ~doc)
+  in
+  let json_arg =
+    let doc = "Write the full analysis (classification, warnings, MHP report) as JSON." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let expect_arg =
+    let doc =
+      "Baseline mode for CI: compare the emitted warning lines against $(docv) (one \
+       warning per line) and exit nonzero on any drift — a new warning, a vanished \
+       warning, or a changed message."
+    in
+    Arg.(value & opt (some string) None & info [ "expect" ] ~docv:"FILE" ~doc)
+  in
+  let analyze app_name all scale mhp json expect =
     let names =
       match (app_name, all) with
       | _, true -> Apps.Registry.extended_names
@@ -525,23 +653,77 @@ let analyze_command =
       | None, false -> Apps.Registry.all_names
     in
     let any_warnings = ref false in
+    let warning_lines = ref [] in
+    let json_apps = ref [] in
     List.iter
       (fun name ->
         let app = Apps.Registry.make ~scale name in
-        let result = Instrument.Static_analysis.analyze (app.Apps.App.binary ()) in
+        let binary = app.Apps.App.binary () in
+        let result = Instrument.Static_analysis.analyze binary in
         Core.Report.analysis ppf ~name:app.Apps.App.name result;
-        if result.Instrument.Static_analysis.warnings <> [] then any_warnings := true)
+        if result.Instrument.Static_analysis.warnings <> [] then any_warnings := true;
+        List.iter
+          (fun w ->
+            warning_lines :=
+              Format.asprintf "%s: %a" app.Apps.App.name
+                Instrument.Static_analysis.pp_warning w
+              :: !warning_lines)
+          result.Instrument.Static_analysis.warnings;
+        let report =
+          if mhp || json <> None then Some (Instrument.Mhp.analyze binary) else None
+        in
+        (match report with
+        | Some r when mhp ->
+            Format.fprintf ppf "@[<v 2>%s may-happen-in-parallel:@ %a@]@.@."
+              app.Apps.App.name Instrument.Mhp.pp_report r
+        | _ -> ());
+        if json <> None then
+          json_apps := json_of_analysis ~name:app.Apps.App.name result report :: !json_apps)
       names;
-    if !any_warnings then
+    let warning_lines = List.rev !warning_lines in
+    (match json with
+    | Some path ->
+        Bench_json.to_file path
+          (Bench_json.Obj
+             [
+               ("schema", Bench_json.String "cvm-race-analyze/1");
+               ("apps", Bench_json.List (List.rev !json_apps));
+             ]);
+        Format.fprintf ppf "analysis JSON -> %s@." path
+    | None -> ());
+    let drifted =
+      match expect with
+      | None -> false
+      | Some path ->
+          let expected = read_lines path in
+          let missing = List.filter (fun l -> not (List.mem l warning_lines)) expected in
+          let unexpected = List.filter (fun l -> not (List.mem l expected)) warning_lines in
+          List.iter (fun l -> Format.fprintf ppf "MISSING (expected, not emitted): %s@." l) missing;
+          List.iter (fun l -> Format.fprintf ppf "UNEXPECTED (emitted, not in baseline): %s@." l) unexpected;
+          if missing = [] && unexpected = [] then begin
+            Format.fprintf ppf "warning set matches baseline %s (%d line(s))@." path
+              (List.length expected);
+            false
+          end
+          else true
+    in
+    if !any_warnings && expect = None then
       Format.fprintf ppf
-        "note: lint findings are static suspicions; `cvm_race run` confirms them dynamically@."
+        "note: lint findings are static suspicions; `cvm_race run` confirms them dynamically@.";
+    if drifted then exit 1
   in
-  let term = Term.(const analyze $ app_opt_arg $ all_arg $ scale_arg) in
+  let term =
+    Term.(const analyze $ app_opt_arg $ all_arg $ scale_arg $ mhp_arg $ json_arg
+        $ expect_arg)
+  in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:
-         "Run the static elimination pass (section 5.1) alone: per-application access \
-          classification, redundant-check batching, and lockset lint warnings.")
+         "Run the static passes alone: per-application access classification, \
+          redundant-check batching, lockset lint warnings, and (with $(b,--mhp)) the \
+          whole-program may-happen-in-parallel pair report. $(b,--expect) compares the \
+          warning lines to a checked-in baseline and exits nonzero on drift; \
+          $(b,--json) writes the full report for tooling.")
     term
 
 let litmus_command =

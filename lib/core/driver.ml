@@ -18,6 +18,19 @@ type outcome = {
 
 let run ?(cost = Sim.Cost.default) ?(cfg = Lrc.Config.default) ?(watch_addrs = [])
     ~(app : Apps.App.t) ~nprocs () =
+  (* [Some []] means "derive the elision set": the statically race-free
+     sites of the app's binary per the MHP analysis. Recomputed here
+     (deterministically) rather than stored, so record and replay agree. *)
+  let cfg =
+    match cfg.Lrc.Config.elide_sites with
+    | Some [] ->
+        {
+          cfg with
+          Lrc.Config.elide_sites =
+            Some (Instrument.Mhp.race_free_sites (app.Apps.App.binary ()));
+        }
+    | _ -> cfg
+  in
   (* With detection on, the static pass's redundant-check batching lowers
      the average per-access discrimination charge (section 5.1): scale
      the access-check cost by the fraction the analysis could not batch. *)

@@ -77,6 +77,9 @@ let meta_of ~app_name ~scale ~nprocs (cfg : Lrc.Config.t) : Trace.Codec.meta =
     m_transport = Option.map transport_meta_of cfg.Lrc.Config.transport;
     m_watchdog_ns = cfg.Lrc.Config.watchdog_ns;
     m_gc_epochs = cfg.Lrc.Config.gc_epochs;
+    (* only the flag travels in the log; the site set is re-derived from
+       the app's binary at replay (it is a pure function of the binary) *)
+    m_elide = cfg.Lrc.Config.elide_sites <> None;
   }
 
 let config_of_meta (m : Trace.Codec.meta) : Lrc.Config.t =
@@ -105,6 +108,7 @@ let config_of_meta (m : Trace.Codec.meta) : Lrc.Config.t =
     transport = Option.map transport_of_meta m.Trace.Codec.m_transport;
     watchdog_ns = m.Trace.Codec.m_watchdog_ns;
     gc_epochs = m.Trace.Codec.m_gc_epochs;
+    elide_sites = (if m.Trace.Codec.m_elide then Some [] else None);
   }
 
 let record ?cost ?(cfg = Lrc.Config.default) ~app_name ~scale ~nprocs () =

@@ -75,9 +75,20 @@ let pp_prov ppf = function
 (* ------------------------------------------------------------------ *)
 (* Abstract state: register provenance + must-hold lockset             *)
 
-type state = { regs : prov Regmap.t; locks : Intset.t }
+(* Constant displacement of a register from the base of the allocation
+   it points into (bytes); [Disp_unknown] when the chain loses it (a
+   pointer loaded from memory, or a join of differing displacements).
+   Bottom is absence from the map. The MHP range refinement consumes
+   this: with a known displacement, an access's static footprint within
+   its region is a concrete byte interval. *)
+type disp = Disp of int | Disp_unknown
 
-let initial_state = { regs = Regmap.empty; locks = Intset.empty }
+type state = { regs : prov Regmap.t; disps : disp Regmap.t; locks : Intset.t }
+
+let initial_state = { regs = Regmap.empty; disps = Regmap.empty; locks = Intset.empty }
+
+let disp_join a b =
+  match (a, b) with Disp x, Disp y when x = y -> Disp x | _ -> Disp_unknown
 
 let state_join a b =
   {
@@ -89,30 +100,70 @@ let state_join a b =
           | Some p, None | None, Some p -> Some p (* bottom is the join identity *)
           | None, None -> None)
         a.regs b.regs;
+    disps =
+      Regmap.merge
+        (fun _ da db ->
+          match (da, db) with
+          | Some da, Some db -> Some (disp_join da db)
+          | Some d, None | None, Some d -> Some d
+          | None, None -> None)
+        a.disps b.disps;
     locks = Intset.inter a.locks b.locks;
   }
 
-let state_equal a b = Regmap.equal prov_equal a.regs b.regs && Intset.equal a.locks b.locks
+let state_equal a b =
+  Regmap.equal prov_equal a.regs b.regs
+  && Regmap.equal ( = ) a.disps b.disps
+  && Intset.equal a.locks b.locks
 
 let lookup state reg =
   match Regmap.find_opt reg state.regs with Some p -> p | None -> Unknown
+
+let lookup_disp state reg =
+  match Regmap.find_opt reg state.disps with Some d -> d | None -> Disp_unknown
 
 let prov_of_base state = function
   | Ir.Fp _ -> Stack
   | Ir.Gp _ -> Static
   | Ir.Reg r -> lookup state r
 
+let disp_of_base state = function
+  | Ir.Fp _ | Ir.Gp _ -> Disp_unknown (* private; displacement is irrelevant *)
+  | Ir.Reg r -> lookup_disp state r
+
 let transfer_op state (op : Ir.op) =
   match op with
-  | Ir.Mov { dst; src } -> { state with regs = Regmap.add dst (lookup state src) state.regs }
-  | Ir.Lea { dst; base; offset = _ } ->
-      { state with regs = Regmap.add dst (prov_of_base state base) state.regs }
+  | Ir.Mov { dst; src } ->
+      {
+        state with
+        regs = Regmap.add dst (lookup state src) state.regs;
+        disps = Regmap.add dst (lookup_disp state src) state.disps;
+      }
+  | Ir.Lea { dst; base; offset } ->
+      let disp =
+        match disp_of_base state base with
+        | Disp d -> Disp (d + offset)
+        | Disp_unknown -> Disp_unknown
+      in
+      {
+        state with
+        regs = Regmap.add dst (prov_of_base state base) state.regs;
+        disps = Regmap.add dst disp state.disps;
+      }
   | Ir.Malloc { dst; shared; region } ->
       let p = if shared then Shared_heap (Regions.singleton region) else Private_heap in
-      { state with regs = Regmap.add dst p state.regs }
+      {
+        state with
+        regs = Regmap.add dst p state.regs;
+        disps = Regmap.add dst (Disp 0) state.disps;
+      }
   | Ir.Load { dst = Some dst; _ } ->
       (* a pointer loaded from memory: nothing is known about it *)
-      { state with regs = Regmap.add dst Unknown state.regs }
+      {
+        state with
+        regs = Regmap.add dst Unknown state.regs;
+        disps = Regmap.add dst Disp_unknown state.disps;
+      }
   | Ir.Load { dst = None; _ } | Ir.Store _ | Ir.Barrier -> state
   | Ir.Acquire lock -> { state with locks = Intset.add lock state.locks }
   | Ir.Release lock -> { state with locks = Intset.remove lock state.locks }
@@ -217,6 +268,9 @@ type access = {
   a_base : Ir.base;
   a_site : string;
   a_count : int;
+  a_offset : int;  (* static byte offset of the first element *)
+  a_stride : int;  (* static byte stride between elements *)
+  a_disp : disp;  (* base register's displacement from its region base *)
   a_prov : prov;  (* provenance of the address at this point *)
   a_locks : Intset.t;  (* must-hold lockset at this point *)
   a_regions : Regions.t;  (* shared allocation sites possibly addressed *)
@@ -280,6 +334,9 @@ let analyze ?(page_size = 4096) (proc : Ir.proc) =
                   a_base = base;
                   a_site = site;
                   a_count = count;
+                  a_offset = offset;
+                  a_stride = stride;
+                  a_disp = disp_of_base !state base;
                   a_prov = prov;
                   a_locks = (if reachable then !state.locks else Intset.empty);
                   a_regions = regions_of prov;

@@ -30,12 +30,17 @@ val is_private : prov -> bool
 val regions_of : prov -> Regions.t
 val pp_prov : Format.formatter -> prov -> unit
 
-type state = { regs : prov Regmap.t; locks : Intset.t }
+type disp = Disp of int | Disp_unknown
+(** Constant byte displacement of a register from the base of the
+    allocation it points into; [Disp_unknown] once the chain loses it. *)
+
+type state = { regs : prov Regmap.t; disps : disp Regmap.t; locks : Intset.t }
 
 val initial_state : state
 val state_join : state -> state -> state
 val state_equal : state -> state -> bool
 val lookup : state -> Ir.reg -> prov
+val lookup_disp : state -> Ir.reg -> disp
 val transfer_op : state -> Ir.op -> state
 val transfer_block : state -> Ir.op list -> state
 
@@ -51,6 +56,9 @@ type access = {
   a_base : Ir.base;
   a_site : string;
   a_count : int;
+  a_offset : int;
+  a_stride : int;
+  a_disp : disp;
   a_prov : prov;
   a_locks : Intset.t;
   a_regions : Regions.t;

@@ -1,0 +1,64 @@
+(** May-happen-in-parallel analysis: the pairwise upgrade of the
+    {!Static_analysis} lint.
+
+    Under the SPMD model (every processor runs the same CFG), two
+    shared accesses — including a store paired with itself — form a
+    may-parallel pair when their static barrier-phase windows overlap,
+    they may address the same dsm_malloc region with overlapping static
+    byte footprints, at least one is a store, and no common must-hold
+    lock orders them.
+
+    The pair set is an over-approximation of the dynamically possible
+    races (soundness is asserted against the runtime detector and the
+    happens-before oracle in the test suite); its complement over the
+    instrumented shared sites is the statically race-free set whose
+    runtime checks instrumentation elision may skip. *)
+
+type severity =
+  | Mismatch  (** one side is lock-disciplined, the other is not (or the locks are disjoint) *)
+  | Unlocked  (** neither side holds a lock: barrier-disciplined residue *)
+
+type side = { s_site : string; s_kind : Binary.kind; s_locks : int list }
+
+type pair = {
+  p_proc : string;
+  p_severity : severity;
+  p_region : string;  (** witness region both sides may address *)
+  p_phases : int list;  (** static phases containing both sides *)
+  p_a : side;
+  p_b : side;  (** sides ordered (site, kind, locks) ascending *)
+}
+
+type report = {
+  pairs : pair list;  (** deterministic order, most severe first *)
+  may_race_sites : string list;  (** sites joining at least one pair *)
+  race_free_sites : string list;  (** shared sites joining no pair *)
+  shared_sites : string list;  (** every instrumented shared site *)
+}
+
+val severity_rank : severity -> int
+val severity_name : severity -> string
+
+val analyze : ?page_size:int -> Binary.t -> report
+(** Run {!Dataflow.analyze} over every procedure and pair up the shared
+    accesses. Deterministic for a given binary. *)
+
+val race_free_sites : ?page_size:int -> Binary.t -> string list
+(** Shared sites the analysis proves race-free (no pair membership). *)
+
+val covers : report -> site_a:string -> site_b:string -> bool
+(** Is there a pair whose two sides are exactly these sites (in either
+    order)? *)
+
+val covers_site : report -> site:string -> bool
+(** Does the site join at least one pair? *)
+
+val warnings : report -> Static_analysis.warning list
+(** The lint view: [Mismatch] pairs with distinct sites, reported from
+    the under-locked side, deduplicated and sorted. Coincides with
+    {!Static_analysis.lint_warnings} on binaries without
+    disjoint-but-non-empty lockset pairs. *)
+
+val pp_side : Format.formatter -> side -> unit
+val pp_pair : Format.formatter -> pair -> unit
+val pp_report : Format.formatter -> report -> unit

@@ -193,12 +193,22 @@ let analyze ?(page_size = 4096) (binary : Binary.t) =
       let b = float_of_int !batched in
       ((inst -. b) +. (b *. batched_check_cost)) /. inst
   in
+  (* deterministic report order regardless of CFG discovery order, so
+     warning lists diff cleanly in CI *)
+  let warnings =
+    List.stable_sort
+      (fun a b ->
+        compare
+          (a.w_proc, a.w_site, a.w_other_site, a.w_region)
+          (b.w_proc, b.w_site, b.w_other_site, b.w_region))
+      !warnings
+  in
   {
     classification;
     sites = List.rev !sites;
     batched_checks = !batched;
     check_cost_scale = scale;
-    warnings = !warnings;
+    warnings;
     provenance = List.rev !provenance;
   }
 

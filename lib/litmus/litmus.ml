@@ -228,20 +228,45 @@ type kernel = {
       (* per-kernel config adjustments (e.g. interval GC cadence) applied
          on top of the protocol under test *)
   k_body : base:int -> Lrc.Dsm.node -> unit;
+  k_binary : unit -> Instrument.Binary.t;
+      (* the kernel's synthetic binary: a CFG mirroring the body's shared
+         accesses (same sites, same lock and barrier structure), so the
+         static MHP analysis applies to kernels exactly as to the apps *)
 }
 
 type kernel_outcome = {
   detected : int list;  (* racy addresses the online detector reported *)
   oracle : int list;  (* racy addresses from the offline oracle *)
   checksum : int;
+  watch_hits : Instrument.Watch.hit list;  (* [] unless watch_addrs given *)
 }
 
-let run_kernel ?(protocol = Lrc.Config.Multi_writer) kernel =
+let run_kernel ?(protocol = Lrc.Config.Multi_writer) ?(watch_addrs = []) ?(elide = false)
+    kernel =
   let cfg =
     kernel.k_cfg
       { Lrc.Config.default with Lrc.Config.protocol; detect = true; record_trace = true }
   in
+  let cfg =
+    if elide then
+      {
+        cfg with
+        Lrc.Config.elide_sites = Some (Instrument.Mhp.race_free_sites (kernel.k_binary ()));
+      }
+    else cfg
+  in
   let cluster = Lrc.Cluster.create ~cfg ~nprocs:kernel.k_nprocs ~pages:kernel.k_pages () in
+  let watch =
+    match watch_addrs with
+    | [] -> None
+    | addrs ->
+        let watch = Instrument.Watch.create ~addrs in
+        for id = 0 to kernel.k_nprocs - 1 do
+          Lrc.Node.set_access_observer (Lrc.Cluster.node cluster id)
+            (Instrument.Watch.observe watch)
+        done;
+        Some watch
+  in
   let base =
     Lrc.Cluster.alloc cluster (kernel.k_words * 8) ~name:("kernel:" ^ kernel.k_name)
   in
@@ -253,10 +278,26 @@ let run_kernel ?(protocol = Lrc.Config.Multi_writer) kernel =
       |> List.sort_uniq compare;
     oracle = Racedetect.Oracle.racy_addrs ~nprocs:kernel.k_nprocs (Lrc.Cluster.trace cluster);
     checksum = Lrc.Cluster.memory_checksum cluster;
+    watch_hits = (match watch with Some w -> Instrument.Watch.hits w | None -> []);
   }
 
 (* words_per_page at the default geometry: 4096-byte pages, 8-byte words *)
 let wpp = 512
+
+(* Straight-line kernel binary: register 0 holds the kernel's one shared
+   allocation, and the op list mirrors the body's shared accesses with
+   the same sites, locks and barriers. Branch-free is sound here because
+   pid-conditional code only *restricts* which processor runs an access —
+   the SPMD pair analysis already assumes any processor may. *)
+let kernel_binary name ops =
+  let open Instrument.Ir in
+  Instrument.Binary.make ~name
+    ~procs:
+      [
+        proc ~name ~entry:"entry"
+          [ block "entry" (malloc_shared ~dst:0 ("kernel:" ^ name) :: ops) ];
+      ]
+    []
 
 let expect node what got want =
   if got <> want then
@@ -280,17 +321,30 @@ let diff_cache_reuse =
         barrier node;
         if pid node = 0 then
           for w = 0 to 15 do
-            write_int_at node base w (100 + w)
+            write_int_at node ~site:"dcr:fill" base w (100 + w)
           done;
         barrier node;
         if pid node > 0 then
           for w = 0 to 15 do
-            expect node "diff-cache-reuse" (read_int_at node base w) (100 + w)
+            expect node "diff-cache-reuse" (read_int_at node ~site:"dcr:verify" base w) (100 + w)
           done;
         (* the racy pair lives on the second page *)
-        if pid node = 1 then write_int_at node base wpp 7;
-        if pid node = 2 then ignore (read_int_at node base wpp);
+        if pid node = 1 then write_int_at node ~site:"dcr:racy_store" base wpp 7;
+        if pid node = 2 then ignore (read_int_at node ~site:"dcr:racy_load" base wpp);
         barrier node);
+    k_binary =
+      (fun () ->
+        let open Instrument.Ir in
+        kernel_binary "diff-cache-reuse"
+          [
+            barrier;
+            store ~count:16 ~site:"dcr:fill" (Reg 0);
+            barrier;
+            load ~count:16 ~site:"dcr:verify" (Reg 0);
+            store ~offset:(wpp * 8) ~site:"dcr:racy_store" (Reg 0);
+            load ~offset:(wpp * 8) ~site:"dcr:racy_load" (Reg 0);
+            barrier;
+          ]);
   }
 
 let gc_interval_rerequest =
@@ -312,7 +366,7 @@ let gc_interval_rerequest =
         barrier node;
         if pid node = 0 then
           for w = 0 to 7 do
-            write_int_at node base w (w * w)
+            write_int_at node ~site:"gcr:fill" base w (w * w)
           done;
         barrier node;
         (* empty epochs: the GC fires, validates invalid pages, then one
@@ -322,13 +376,29 @@ let gc_interval_rerequest =
         barrier node;
         if pid node = 3 then
           for w = 0 to 7 do
-            expect node "gc-interval-rerequest" (read_int_at node base w) (w * w)
+            expect node "gc-interval-rerequest" (read_int_at node ~site:"gcr:verify" base w) (w * w)
           done;
         (* a racy pair after the collection: detection state must have
            survived the pruning *)
-        if pid node = 0 then write_int_at node base wpp 1;
-        if pid node = 1 then ignore (read_int_at node base wpp);
+        if pid node = 0 then write_int_at node ~site:"gcr:racy_store" base wpp 1;
+        if pid node = 1 then ignore (read_int_at node ~site:"gcr:racy_load" base wpp);
         barrier node);
+    k_binary =
+      (fun () ->
+        let open Instrument.Ir in
+        kernel_binary "gc-interval-rerequest"
+          [
+            barrier;
+            store ~count:8 ~site:"gcr:fill" (Reg 0);
+            barrier;
+            barrier;
+            barrier;
+            barrier;
+            load ~count:8 ~site:"gcr:verify" (Reg 0);
+            store ~offset:(wpp * 8) ~site:"gcr:racy_store" (Reg 0);
+            load ~offset:(wpp * 8) ~site:"gcr:racy_load" (Reg 0);
+            barrier;
+          ]);
   }
 
 let write_notice_invalid_page =
@@ -345,21 +415,35 @@ let write_notice_invalid_page =
       (fun ~base node ->
         let open Lrc.Dsm in
         (* everyone caches the page first *)
-        ignore (read_int_at node base (pid node));
+        ignore (read_int_at node ~site:"wni:warm" base (pid node));
         barrier node;
-        if pid node = 0 then write_int_at node base 0 1;
+        if pid node = 0 then write_int_at node ~site:"wni:store" base 0 1;
         barrier node;
         (* p1 and p2 hold the page invalid; p0 writes it again *)
         if pid node = 0 then begin
-          write_int_at node base 0 2;
-          write_int_at node base 1 3
+          write_int_at node ~site:"wni:store2" base 0 2;
+          write_int_at node ~site:"wni:store2" base 1 3
         end;
         barrier node;
         if pid node > 0 then begin
-          expect node "write-notice-invalid" (read_int_at node base 0) 2;
-          expect node "write-notice-invalid" (read_int_at node base 1) 3
+          expect node "write-notice-invalid" (read_int_at node ~site:"wni:verify" base 0) 2;
+          expect node "write-notice-invalid" (read_int_at node ~site:"wni:verify" base 1) 3
         end;
         barrier node);
+    k_binary =
+      (fun () ->
+        let open Instrument.Ir in
+        kernel_binary "write-notice-invalid"
+          [
+            load ~count:3 ~site:"wni:warm" (Reg 0);
+            barrier;
+            store ~site:"wni:store" (Reg 0);
+            barrier;
+            store ~count:2 ~site:"wni:store2" (Reg 0);
+            barrier;
+            load ~count:2 ~site:"wni:verify" (Reg 0);
+            barrier;
+          ]);
   }
 
 let lock_handoff_chain =
@@ -378,13 +462,35 @@ let lock_handoff_chain =
         barrier node;
         for _round = 1 to 2 do
           with_lock node 5 (fun () ->
-              let v = read_int_at node base 0 in
+              let v = read_int_at node ~site:"lhc:read" base 0 in
               compute node 5_000.0;
-              write_int_at node base 0 (v + 1))
+              write_int_at node ~site:"lhc:write" base 0 (v + 1))
         done;
         barrier node;
-        if pid node = 0 then expect node "lock-handoff-chain" (read_int_at node base 0) 8;
+        if pid node = 0 then
+          expect node "lock-handoff-chain" (read_int_at node ~site:"lhc:check" base 0) 8;
         barrier node);
+    k_binary =
+      (fun () ->
+        let open Instrument.Ir in
+        Instrument.Binary.make ~name:"lock-handoff-chain"
+          ~procs:
+            [
+              proc ~name:"lock-handoff-chain" ~entry:"entry"
+                [
+                  block "entry" ~succs:[ "loop" ]
+                    [ malloc_shared ~dst:0 "kernel:lock-handoff-chain"; barrier ];
+                  block "loop" ~succs:[ "loop"; "after" ]
+                    [
+                      acquire 5;
+                      load ~site:"lhc:read" (Reg 0);
+                      store ~site:"lhc:write" (Reg 0);
+                      release 5;
+                    ];
+                  block "after" [ barrier; load ~site:"lhc:check" (Reg 0); barrier ];
+                ];
+            ]
+          []);
   }
 
 let lock_chained_publish =
@@ -403,16 +509,36 @@ let lock_chained_publish =
         let open Lrc.Dsm in
         barrier node;
         (match pid node with
-        | 0 -> with_lock node 1 (fun () -> write_int_at node base 0 41)
+        | 0 -> with_lock node 1 (fun () -> write_int_at node ~site:"lcp:pub" base 0 41)
         | 1 ->
             idle node 400_000.0;
-            let v = with_lock node 1 (fun () -> read_int_at node base 0) in
-            with_lock node 2 (fun () -> write_int_at node base 1 (v + 1))
+            let v = with_lock node 1 (fun () -> read_int_at node ~site:"lcp:relay_read" base 0) in
+            with_lock node 2 (fun () -> write_int_at node ~site:"lcp:relay_write" base 1 (v + 1))
         | _ ->
             idle node 900_000.0;
-            let v = with_lock node 2 (fun () -> read_int_at node base 1) in
+            let v = with_lock node 2 (fun () -> read_int_at node ~site:"lcp:sub" base 1) in
             if v <> 0 then expect node "lock-chained-publish" v 42);
         barrier node);
+    k_binary =
+      (fun () ->
+        let open Instrument.Ir in
+        kernel_binary "lock-chained-publish"
+          [
+            barrier;
+            acquire 1;
+            store ~site:"lcp:pub" (Reg 0);
+            release 1;
+            acquire 1;
+            load ~site:"lcp:relay_read" (Reg 0);
+            release 1;
+            acquire 2;
+            store ~offset:8 ~site:"lcp:relay_write" (Reg 0);
+            release 2;
+            acquire 2;
+            load ~offset:8 ~site:"lcp:sub" (Reg 0);
+            release 2;
+            barrier;
+          ]);
   }
 
 let false_sharing_writers =
@@ -429,13 +555,24 @@ let false_sharing_writers =
       (fun ~base node ->
         let open Lrc.Dsm in
         barrier node;
-        write_int_at node base (pid node) (10 * (pid node + 1));
+        write_int_at node ~site:"fsw:mine" base (pid node) (10 * (pid node + 1));
         barrier node;
         let neighbour = (pid node + 1) mod nprocs node in
         expect node "false-sharing-writers"
-          (read_int_at node base neighbour)
+          (read_int_at node ~site:"fsw:neighbour" base neighbour)
           (10 * (neighbour + 1));
         barrier node);
+    k_binary =
+      (fun () ->
+        let open Instrument.Ir in
+        kernel_binary "false-sharing-writers"
+          [
+            barrier;
+            store ~count:4 ~site:"fsw:mine" (Reg 0);
+            barrier;
+            load ~count:4 ~site:"fsw:neighbour" (Reg 0);
+            barrier;
+          ]);
   }
 
 let true_sharing_overlap =
@@ -452,8 +589,13 @@ let true_sharing_overlap =
         let open Lrc.Dsm in
         barrier node;
         let word = if pid node < 2 then 0 else pid node in
-        write_int_at node base word (pid node + 1);
+        write_int_at node ~site:"tso:store" base word (pid node + 1);
         barrier node);
+    k_binary =
+      (fun () ->
+        let open Instrument.Ir in
+        kernel_binary "true-sharing-overlap"
+          [ barrier; store ~count:4 ~site:"tso:store" (Reg 0); barrier ]);
   }
 
 let multi_reader_race =
@@ -470,9 +612,19 @@ let multi_reader_race =
       (fun ~base node ->
         let open Lrc.Dsm in
         barrier node;
-        if pid node = 0 then write_int_at node base 0 9
-        else ignore (read_int_at node base 0);
+        if pid node = 0 then write_int_at node ~site:"mrr:store" base 0 9
+        else ignore (read_int_at node ~site:"mrr:load" base 0);
         barrier node);
+    k_binary =
+      (fun () ->
+        let open Instrument.Ir in
+        kernel_binary "multi-reader-race"
+          [
+            barrier;
+            store ~site:"mrr:store" (Reg 0);
+            load ~site:"mrr:load" (Reg 0);
+            barrier;
+          ]);
   }
 
 let partially_locked =
@@ -491,10 +643,23 @@ let partially_locked =
         barrier node;
         if pid node < 2 then
           with_lock node 3 (fun () ->
-              let v = read_int_at node base 0 in
-              write_int_at node base 0 (v + 1))
-        else write_int_at node base 0 100;
+              let v = read_int_at node ~site:"pl:locked_read" base 0 in
+              write_int_at node ~site:"pl:locked_write" base 0 (v + 1))
+        else write_int_at node ~site:"pl:unlocked_store" base 0 100;
         barrier node);
+    k_binary =
+      (fun () ->
+        let open Instrument.Ir in
+        kernel_binary "partially-locked"
+          [
+            barrier;
+            acquire 3;
+            load ~site:"pl:locked_read" (Reg 0);
+            store ~site:"pl:locked_write" (Reg 0);
+            release 3;
+            store ~site:"pl:unlocked_store" (Reg 0);
+            barrier;
+          ]);
   }
 
 let kernels =

@@ -65,17 +65,30 @@ type kernel = {
   k_words : int;
   k_cfg : Lrc.Config.t -> Lrc.Config.t;
   k_body : base:int -> Lrc.Dsm.node -> unit;
+  k_binary : unit -> Instrument.Binary.t;
+      (** the kernel's synthetic binary: a CFG mirroring the body's
+          shared accesses (same sites, locks and barriers), so the
+          static MHP analysis applies to kernels exactly as to apps *)
 }
 
 type kernel_outcome = {
   detected : int list;  (** racy addresses the online detector reported *)
   oracle : int list;  (** racy addresses from the offline happens-before oracle *)
   checksum : int;
+  watch_hits : Instrument.Watch.hit list;  (** [] unless [watch_addrs] given *)
 }
 
-val run_kernel : ?protocol:Lrc.Config.protocol -> kernel -> kernel_outcome
+val run_kernel :
+  ?protocol:Lrc.Config.protocol ->
+  ?watch_addrs:int list ->
+  ?elide:bool ->
+  kernel ->
+  kernel_outcome
 (** One deterministic execution under the given protocol (default
-    multi-writer, the protocol whose machinery the kernels stress). *)
+    multi-writer, the protocol whose machinery the kernels stress).
+    [watch_addrs] wires an {!Instrument.Watch} observer onto every node;
+    [elide] skips runtime checks at the sites the kernel's binary is
+    statically proven race-free at. *)
 
 val diff_cache_reuse : kernel
 val gc_interval_rerequest : kernel

@@ -53,6 +53,13 @@ type t = {
   tracer : Trace.Sink.t option;
       (* record/replay event sink: every sim- and protocol-level event is
          emitted into it (recorder, replay verifier, or a tee of both) *)
+  elide_sites : string list option;
+      (* instrumentation elision driven by the static MHP analysis:
+         None (the default) keeps every runtime check; Some sites skips
+         the per-access race check at exactly those sites (they must be
+         statically proven race-free for reports to be unchanged);
+         Some [] asks the driver to derive the set from the app's binary
+         via Instrument.Mhp.race_free_sites *)
 }
 
 let default =
@@ -72,6 +79,7 @@ let default =
     gc_epochs = None;
     net_seed = None;
     tracer = None;
+    elide_sites = None;
   }
 
 let protocol_name = function

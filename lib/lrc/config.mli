@@ -57,6 +57,13 @@ type t = {
       (** record/replay event sink: every sim- and protocol-level event
           the run produces is emitted into it — a {!Trace.Sink.recorder}
           when recording, a {!Trace.Replay.verifier} when replaying *)
+  elide_sites : string list option;
+      (** instrumentation elision driven by the static MHP analysis:
+          [None] (the default) keeps every runtime check; [Some sites]
+          skips the per-access race check at exactly those sites (sound
+          only for statically race-free sites); [Some []] asks the
+          driver to derive the set from the app's binary via
+          [Instrument.Mhp.race_free_sites] *)
 }
 
 val default : t

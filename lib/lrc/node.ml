@@ -128,6 +128,9 @@ type t = {
      the whole run — the storage cost the paper calls prohibitive *)
   cur_sites : (int * int * Proto.Race.access_kind, string) Hashtbl.t;
   site_store : (Proto.Interval.id * int * int * Proto.Race.access_kind, string) Hashtbl.t;
+  (* statically race-free sites whose runtime check is elided (the MHP
+     analysis' complement set); empty when elision is off *)
+  elide : (string, unit) Hashtbl.t;
   mutable replies : Message.t list;  (* replies awaited by the app coroutine *)
   debt : float array;
       (* accumulated local compute time not yet advanced; a 1-element float
@@ -736,10 +739,20 @@ let observe t ~site ~addr kind =
 
 (* Shared prologue of every read/write: cost charge, statistics,
    instrumentation, watch-mode observation, oracle trace. *)
+(* An elided site skips the inserted analysis-routine call entirely (no
+   procedure-call or check charge, no bitmap bit) but keeps the base
+   instruction charge, the statistics, the watch-mode observation and
+   the oracle trace — so elision changes cost and bitmaps only, never
+   what the oracle or a watch run can see. *)
+let elided t site = Hashtbl.length t.elide > 0 && Hashtbl.mem t.elide site
+
 let read_note t ~site addr page word =
   charge_local t t.rt.cost.Sim.Cost.instr_ns;
   t.rt.stats.Sim.Stats.shared_reads <- t.rt.stats.Sim.Stats.shared_reads + 1;
-  if detect_on t then instrument_access t page word Proto.Race.Read ~site;
+  if detect_on t then
+    if elided t site then
+      t.rt.stats.Sim.Stats.elided_checks <- t.rt.stats.Sim.Stats.elided_checks + 1
+    else instrument_access t page word Proto.Race.Read ~site;
   observe t ~site ~addr Proto.Race.Read;
   trace_read t addr
 
@@ -747,7 +760,9 @@ let write_note t ~site addr page word =
   charge_local t t.rt.cost.Sim.Cost.instr_ns;
   t.rt.stats.Sim.Stats.shared_writes <- t.rt.stats.Sim.Stats.shared_writes + 1;
   if detect_on t && not (stores_from_diffs t) then
-    instrument_access t page word Proto.Race.Write ~site;
+    if elided t site then
+      t.rt.stats.Sim.Stats.elided_checks <- t.rt.stats.Sim.Stats.elided_checks + 1
+    else instrument_access t page word Proto.Race.Write ~site;
   observe t ~site ~addr Proto.Race.Write;
   trace_write t addr
 
@@ -1575,6 +1590,12 @@ let create rt ~id ~nprocs =
       g_word_mask = word_size - 1;
       cur_sites = Hashtbl.create 64;
       site_store = Hashtbl.create 256;
+      elide =
+        (let table = Hashtbl.create 8 in
+         (match rt.cfg.Config.elide_sites with
+         | Some sites -> List.iter (fun s -> Hashtbl.replace table s ()) sites
+         | None -> ());
+         table);
       replies = [];
       debt = Array.make 1 0.0;
       alloc_next = geometry.Mem.Geometry.base;

@@ -57,6 +57,7 @@ type t = {
   mutable barriers : int;
   mutable races_reported : int;
   mutable site_entries : int;  (* retained (word, site) records (section 6.1) *)
+  mutable elided_checks : int;  (* runtime checks skipped at statically race-free sites *)
   charges : float array;  (* simulated ns per overhead category *)
 }
 
@@ -96,6 +97,7 @@ let create () =
     barriers = 0;
     races_reported = 0;
     site_entries = 0;
+    elided_checks = 0;
     charges = Array.make (List.length all_categories) 0.0;
   }
 
@@ -130,6 +132,8 @@ let pp ppf t =
     t.intervals_created t.interval_comparisons t.concurrent_pairs t.overlapping_pairs
     t.bitmaps_requested t.bitmap_comparisons t.shared_reads t.shared_writes t.private_accesses
     t.lock_acquires t.barriers t.races_reported;
+  if t.elided_checks > 0 then
+    Format.fprintf ppf "@ elided checks: %d" t.elided_checks;
   if transport_active t then
     Format.fprintf ppf
       "@ transport: %d retransmits (%d timeouts), %d dropped, %d duplicated, %d dup-suppressed, \

@@ -50,6 +50,8 @@ type t = {
   mutable barriers : int;
   mutable races_reported : int;
   mutable site_entries : int;
+  mutable elided_checks : int;
+      (** runtime checks skipped at statically race-free sites *)
   charges : float array;
 }
 

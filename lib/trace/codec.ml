@@ -14,10 +14,14 @@
    - v2: full transport config (RTO, backoff ceiling, retry cap, header
      and ack wire sizes) and the interval-GC cadence [m_gc_epochs], so a
      tuned-transport or GC-enabled recording replays under exactly the
-     configuration that produced it. *)
+     configuration that produced it.
+   - v3: instrumentation-elision flag [m_elide]. Only the flag is
+     stored, not the site set: the set is a pure function of the app's
+     binary, so replay re-derives it and necessarily agrees with the
+     recording build. Decoding an older log reads [m_elide = false]. *)
 
 let magic = "CVMT"
-let version = 2
+let version = 3
 let min_version = 1
 
 type transport_meta = {
@@ -48,6 +52,7 @@ type meta = {
   m_transport : transport_meta option;
   m_watchdog_ns : int option;
   m_gc_epochs : int option;
+  m_elide : bool;  (* elide checks at statically race-free sites (v3+) *)
 }
 
 (* The transport defaults that were current while v1 was the format:
@@ -185,7 +190,7 @@ let get_transport c =
   let tm_ack_bytes = get_varint c in
   { tm_initial_rto_ns; tm_max_rto_ns; tm_max_retries; tm_header_bytes; tm_ack_bytes }
 
-(* always writes the current (v2) layout *)
+(* always writes the current (v3) layout *)
 let put_meta buf m =
   put_string buf m.m_app;
   put_string buf m.m_scale;
@@ -211,7 +216,8 @@ let put_meta buf m =
     m.m_partitions;
   put_opt buf put_transport m.m_transport;
   put_opt buf put_varint m.m_watchdog_ns;
-  put_opt buf put_varint m.m_gc_epochs
+  put_opt buf put_varint m.m_gc_epochs;
+  put_bool buf m.m_elide
 
 let get_meta ~version c =
   let m_app = get_string c in
@@ -259,6 +265,7 @@ let get_meta ~version c =
       let gc_epochs = get_opt c get_varint in
       (transport, watchdog, gc_epochs)
   in
+  let m_elide = if version >= 3 then get_bool c else false in
   {
     m_app;
     m_scale;
@@ -279,6 +286,7 @@ let get_meta ~version c =
     m_transport;
     m_watchdog_ns;
     m_gc_epochs;
+    m_elide;
   }
 
 (* --- events --- *)

@@ -8,7 +8,7 @@
 val magic : string
 
 val version : int
-(** The format version this build writes (v2). *)
+(** The format version this build writes (v3). *)
 
 val min_version : int
 (** The oldest format version this build still decodes (v1: no
@@ -45,6 +45,10 @@ type meta = {
   m_transport : transport_meta option;
   m_watchdog_ns : int option;
   m_gc_epochs : int option;  (** interval-GC cadence; [None] before v2 *)
+  m_elide : bool;
+      (** elide checks at statically race-free sites; [false] before v3.
+          Only the flag is stored — the site set is re-derived from the
+          app's binary at replay time *)
 }
 
 val v1_transport_defaults : transport_meta

@@ -12,7 +12,7 @@ let contains haystack needle =
 let entry ?(wall = 1.0) ?(races = 3) ?(checksum = 0xbeef) ?(sim = 5_000) ?(bytes = 4096)
     ?(nprocs = 8) name =
   {
-    Compare_core.key = (name, "small", nprocs, true, "single-writer");
+    Compare_core.key = (name, "small", nprocs, true, false, "single-writer");
     wall_s = wall;
     sim_time_ns = sim;
     races;

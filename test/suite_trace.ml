@@ -27,6 +27,7 @@ let sample_meta =
       Some { Trace.Codec.v1_transport_defaults with Trace.Codec.tm_max_retries = 5 };
     m_watchdog_ns = Some 200_000_000;
     m_gc_epochs = Some 2;
+    m_elide = true;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -331,6 +332,55 @@ let test_tuned_transport_record_replay () =
   let r = Core.Trace_run.replay log in
   check Alcotest.bool "tuned-transport replay clean" true (Core.Trace_run.clean r)
 
+(* Format v3 appends the instrumentation-elision flag: a log recorded
+   with --elide must replay with the same derived elide set, and an
+   elide-off log must decode with the flag unset. *)
+
+let test_elide_record_replay () =
+  let cfg = { Lrc.Config.default with Lrc.Config.elide_sites = Some [] } in
+  let outcome, log =
+    Core.Trace_run.record ~cfg ~app_name:"water" ~scale:Apps.Registry.Small ~nprocs:4 ()
+  in
+  check Alcotest.bool "elision was active during recording" true
+    (outcome.Core.Driver.stats.Sim.Stats.elided_checks > 0);
+  let m = (Trace.Codec.decode log).Trace.Codec.meta in
+  check Alcotest.bool "elide flag recorded in the meta" true m.Trace.Codec.m_elide;
+  let r = Core.Trace_run.replay log in
+  check Alcotest.bool "elided recording replays clean" true (Core.Trace_run.clean r);
+  check Alcotest.bool "replay re-derived the elide set" true
+    (r.Core.Trace_run.rr_outcome.Core.Driver.stats.Sim.Stats.elided_checks
+    = outcome.Core.Driver.stats.Sim.Stats.elided_checks);
+  (* and a plain recording says elide off *)
+  let _, plain_log =
+    Core.Trace_run.record ~app_name:"water" ~scale:Apps.Registry.Small ~nprocs:4 ()
+  in
+  check Alcotest.bool "plain recording has the flag unset" false
+    (Trace.Codec.decode plain_log).Trace.Codec.meta.Trace.Codec.m_elide
+
+(* The live transport defaults must equal the constants frozen into the
+   codec for format-v1 logs: if a default is ever tuned, the codec needs
+   a new format version (and this pin updated deliberately). *)
+
+let test_live_transport_defaults_still_frozen () =
+  let live = Sim.Transport.default_config in
+  let frozen = Trace.Codec.v1_transport_defaults in
+  check Alcotest.int "initial_rto_ns" frozen.Trace.Codec.tm_initial_rto_ns
+    live.Sim.Transport.initial_rto_ns;
+  check Alcotest.int "max_rto_ns" frozen.Trace.Codec.tm_max_rto_ns live.Sim.Transport.max_rto_ns;
+  check Alcotest.int "max_retries" frozen.Trace.Codec.tm_max_retries
+    live.Sim.Transport.max_retries;
+  check Alcotest.int "header_bytes" frozen.Trace.Codec.tm_header_bytes
+    live.Sim.Transport.header_bytes;
+  check Alcotest.int "ack_bytes" frozen.Trace.Codec.tm_ack_bytes live.Sim.Transport.ack_bytes;
+  (* the frozen literals themselves, spelled out: changing either side
+     must be a conscious act *)
+  check Alcotest.int "frozen initial_rto_ns literal" 1_000_000
+    frozen.Trace.Codec.tm_initial_rto_ns;
+  check Alcotest.int "frozen max_rto_ns literal" 16_000_000 frozen.Trace.Codec.tm_max_rto_ns;
+  check Alcotest.int "frozen max_retries literal" 20 frozen.Trace.Codec.tm_max_retries;
+  check Alcotest.int "frozen header_bytes literal" 12 frozen.Trace.Codec.tm_header_bytes;
+  check Alcotest.int "frozen ack_bytes literal" 32 frozen.Trace.Codec.tm_ack_bytes
+
 (* `dune runtest` runs with the test directory as cwd; `dune exec
    test/test_main.exe` runs from the workspace root *)
 let golden_file name =
@@ -425,6 +475,10 @@ let suite =
           test_gc_epochs_record_replay;
         Alcotest.test_case "tuned transport recorded and replayed" `Quick
           test_tuned_transport_record_replay;
+        Alcotest.test_case "elide flag recorded and replayed" `Quick
+          test_elide_record_replay;
+        Alcotest.test_case "live transport defaults match frozen v1" `Quick
+          test_live_transport_defaults_still_frozen;
         Alcotest.test_case "v1 log decodes with frozen defaults" `Quick
           test_v1_log_decodes_with_frozen_defaults;
         Alcotest.test_case "version window messages" `Quick test_version_window_messages;

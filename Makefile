@@ -29,7 +29,14 @@ test:
 # wall-clock under parallelism includes domain contention — wall is
 # only comparable like-for-like. The work pool is gated separately: a
 # --jobs 4 sweep is diffed against a --jobs 1 sweep with --ignore-wall,
-# proving the fan-out changes nothing observable.
+# proving the fan-out changes nothing observable. The remote executor
+# is gated the same way but under CHAOS: a --workers 2 sweep with a
+# seeded plan that kills each gen-0 worker at its 3rd task AND hangs
+# one task past a 5 s deadline must still produce a JSON identical
+# (minus wall) to the sequential sweep, with the retries/respawns
+# visible on stderr; and the 62-combo equivalence matrix regenerated
+# through chaos workers must be byte-identical to the checked-in
+# golden.
 check:
 	dune build
 	dune runtest
@@ -47,6 +54,10 @@ check:
 	dune exec bench/main.exe -- --small --jobs 1 --procs 4 sweep --json _build/bench_j1.json
 	dune exec bench/main.exe -- --small --jobs 4 --procs 4 sweep --json _build/bench_j4.json
 	dune exec bench/compare.exe -- _build/bench_j1.json _build/bench_j4.json --ignore-wall
+	dune exec bench/main.exe -- --small --workers 2 --procs 4 --chaos "seed=7,kill-after=3,hang=0:1:2" --task-deadline 5 sweep --json _build/bench_w2.json
+	dune exec bench/compare.exe -- _build/bench_j1.json _build/bench_w2.json --ignore-wall
+	dune exec test/gen_equiv_golden.exe -- --workers 2 --chaos "seed=11,kill-after=5" _build/perf_equiv_w2.json
+	cmp test/golden/perf_equiv.json _build/perf_equiv_w2.json
 
 # The full drop-rate sweep over every application (slow; paper scale).
 faults:

@@ -36,8 +36,15 @@ let () =
     | [ a; b ] -> (a, b)
     | _ -> usage ()
   in
-  let baseline = Compare_core.load baseline_path
-  and current = Compare_core.load current_path in
+  let load path =
+    (* a malformed or missing input is usage error 2, not failure 1 — CI
+       distinguishes "the gate tripped" from "the gate never ran" *)
+    try Compare_core.load path
+    with Failure msg ->
+      prerr_endline msg;
+      exit 2
+  in
+  let baseline = load baseline_path and current = load current_path in
   let report =
     Compare_core.compare_runs ~threshold_pct:!threshold_pct ~ignore_wall:!ignore_wall ~baseline
       ~current ()

@@ -23,6 +23,29 @@
 
 let noise_floor_s = 0.050
 
+(* every further deterministic integer field a sweep entry may carry;
+   compared exactly, but only when present in BOTH runs, so baselines
+   recorded before a counter existed still gate the fields they have *)
+let extra_fields =
+  [
+    "messages";
+    "fragments";
+    "read_notice_bytes";
+    "bitmap_round_bytes";
+    "diffs_created";
+    "diffs_gced";
+    "pages_fetched";
+    "intervals_created";
+    "interval_comparisons";
+    "bitmaps_requested";
+    "shared_reads";
+    "shared_writes";
+    "private_accesses";
+    "lock_acquires";
+    "barriers";
+    "elided_checks";
+  ]
+
 type entry = {
   key : string * string * int * bool * bool * string;
       (* app, scale, nprocs, detect, elide, protocol *)
@@ -31,6 +54,7 @@ type entry = {
   races : int;
   mem_checksum : int;
   bytes : int;
+  extras : (string * int) list;
 }
 
 let entry_of_json v =
@@ -48,6 +72,11 @@ let entry_of_json v =
     races = to_int_exn (member "races" v);
     mem_checksum = to_int_exn (member "mem_checksum" v);
     bytes = to_int_exn (member "bytes" v);
+    extras =
+      List.filter_map
+        (fun name ->
+          match member name v with Int n -> Some (name, n) | _ -> None)
+        extra_fields;
   }
 
 let entries_of_json v =
@@ -57,8 +86,10 @@ let entries_of_json v =
   Bench_json.to_list_exn (Bench_json.member "entries" v) |> List.map entry_of_json
 
 let load path =
-  try entries_of_json (Bench_json.of_file path)
-  with Failure msg -> failwith (Printf.sprintf "%s: %s" path msg)
+  try entries_of_json (Bench_json.of_file path) with
+  | Failure msg -> failwith (Printf.sprintf "%s: %s" path msg)
+  | Bench_json.Parse_error msg -> failwith (Printf.sprintf "%s: %s" path msg)
+  | Sys_error msg -> failwith msg
 
 let key_string (app, scale, nprocs, detect, elide, protocol) =
   Printf.sprintf "%s/%s p=%d %s%s %s" app scale nprocs
@@ -109,7 +140,16 @@ let compare_runs ?(threshold_pct = 15.0) ?(ignore_wall = false) ~baseline ~curre
             fail "%s: memory checksum %d -> %d" name base.mem_checksum cur.mem_checksum;
           if cur.sim_time_ns <> base.sim_time_ns then
             fail "%s: simulated time %d -> %d ns" name base.sim_time_ns cur.sim_time_ns;
-          if cur.bytes <> base.bytes then fail "%s: wire bytes %d -> %d" name base.bytes cur.bytes)
+          if cur.bytes <> base.bytes then fail "%s: wire bytes %d -> %d" name base.bytes cur.bytes;
+          (* every drifted counter gets its own line — one run of the
+             gate should name the full extent of a divergence, not just
+             its first symptom *)
+          List.iter
+            (fun (field, b) ->
+              match List.assoc_opt field cur.extras with
+              | Some c when c <> b -> fail "%s: %s %d -> %d" name field b c
+              | _ -> ())
+            base.extras)
     current;
   List.iter
     (fun base ->

@@ -5,6 +5,12 @@ val noise_floor_s : float
 (** Absolute wall-clock drift (50 ms) below which a slowdown never
     fails, however large the ratio — keeps CI-sized runs unflaky. *)
 
+val extra_fields : string list
+(** Every further deterministic integer field a sweep entry may carry
+    (messages, diffs, interval counters, …). Compared exactly, but only
+    when present in both runs, so older baselines still gate the fields
+    they have. *)
+
 type entry = {
   key : string * string * int * bool * bool * string;
       (** app, scale, nprocs, detect, elide, protocol — the match key;
@@ -15,6 +21,8 @@ type entry = {
   races : int;
   mem_checksum : int;
   bytes : int;
+  extras : (string * int) list;
+      (** the {!extra_fields} present in this entry, in list order *)
 }
 
 val entry_of_json : Bench_json.t -> entry
@@ -24,7 +32,9 @@ val entries_of_json : Bench_json.t -> entry list
     otherwise. *)
 
 val load : string -> entry list
-(** [entries_of_json] over a file, with the path prefixed to errors. *)
+(** [entries_of_json] over a file. Every failure — unreadable file,
+    malformed JSON, wrong schema — raises [Failure] with the path
+    prefixed, so callers need exactly one handler. *)
 
 val key_string : string * string * int * bool * bool * string -> string
 
@@ -48,7 +58,10 @@ val compare_runs :
     [threshold_pct] (default 15%) before failing, and never fails under
     {!noise_floor_s}; [ignore_wall] (default false) skips the wall check
     for same-build comparisons such as [--jobs 1] vs [--jobs N].
-    Deterministic fields (races, checksum, simulated time, wire bytes)
-    must match exactly. Entries only in [current] are noted but pass;
+    Deterministic fields (races, checksum, simulated time, wire bytes,
+    and every {!extra_fields} counter present in both entries) must
+    match exactly, and {e every} drifted field gets its own FAIL line —
+    the gate names the full extent of a divergence in one run, not just
+    its first symptom. Entries only in [current] are noted but pass;
     entries only in [baseline] are failures — a sweep point that
     disappears must be a deliberate baseline regeneration, not erosion. *)

@@ -198,87 +198,82 @@ let run_faults () =
 
 (* ------------------------------------------------------------------ *)
 (* The machine-readable sweep: one simulated run per (app, nprocs,
-   detect) point, timed with the monotonic clock and bracketed by
-   [Gc.quick_stat] so allocation pressure is part of the record.
-
-   [bench_point] is the pool task: it runs on whatever domain the pool
-   hands it to, so it must not print or touch shared mutable state — it
-   returns the JSON entry and the rendered summary line, and the main
-   domain emits both in submission order. Under [--jobs > 1] the GC
-   deltas bill only this domain's minor heap but share the major heap
-   with concurrent points, and wall-clock includes contention; both are
-   measurement fields, not outcomes, and bench/compare.exe treats only
-   the deterministic fields as gating. *)
+   detect) point, timed and bracketed by [Gc.quick_stat] so allocation
+   pressure is part of the record. The measurement itself is
+   [Core.Experiments.sweep_point] (self-contained, silent), so the same
+   point runs on a pool domain or in a remote worker process; rendering
+   happens here on the main domain, in submission order. Under
+   [--jobs > 1] the GC deltas bill only the running domain's minor heap
+   but share the major heap with concurrent points (under [--workers]
+   each point gets a whole process heap), and wall-clock includes
+   contention; both are measurement fields, not outcomes, and
+   bench/compare.exe treats only the deterministic fields as gating. *)
 
 let sweep_entries : Bench_json.t list ref = ref []
 
-let bench_point ~nprocs ~detect ?(elide = false) name =
-  let app = Apps.Registry.make ~scale:!scale name in
-  let cfg =
-    {
-      Lrc.Config.default with
-      Lrc.Config.detect;
-      elide_sites = (if elide then Some [] else None);
-    }
-  in
-  (* level the heap between points so one entry's garbage does not bill
-     the next entry's collector *)
-  Gc.full_major ();
-  let g0 = Gc.quick_stat () in
-  let t0 = now_s () in
-  let outcome = Core.Driver.run ~cfg ~app ~nprocs () in
-  let t1 = now_s () in
-  let g1 = Gc.quick_stat () in
-  let stats = outcome.Core.Driver.stats in
+let executor_entry : Bench_json.t option ref = ref None
+
+let json_of_sweep_point (sp : Core.Experiments.sweep_point) =
+  let stats = sp.Core.Experiments.sp_stats in
   let open Bench_json in
-  let entry =
-    Obj
-      [
-        ("app", String (String.lowercase_ascii name));
-        ("scale", String (scale_name ()));
-        ("nprocs", Int nprocs);
-        ("detect", Bool detect);
-        ("elide", Bool elide);
-        ("elided_checks", Int stats.Sim.Stats.elided_checks);
-        ("protocol", String (Lrc.Config.protocol_name cfg.Lrc.Config.protocol));
-        ("wall_s", Float (t1 -. t0));
-        ("sim_time_ns", Int outcome.Core.Driver.sim_time_ns);
-        ("races", Int (List.length outcome.Core.Driver.races));
-        ("mem_checksum", Int outcome.Core.Driver.mem_checksum);
-        ("messages", Int stats.Sim.Stats.messages);
-        ("fragments", Int stats.Sim.Stats.fragments);
-        ("bytes", Int stats.Sim.Stats.bytes);
-        ("read_notice_bytes", Int stats.Sim.Stats.read_notice_bytes);
-        ("bitmap_round_bytes", Int stats.Sim.Stats.bitmap_round_bytes);
-        ("diffs_created", Int stats.Sim.Stats.diffs_created);
-        ("diffs_gced", Int stats.Sim.Stats.diffs_gced);
-        ("pages_fetched", Int stats.Sim.Stats.pages_fetched);
-        ("intervals_created", Int stats.Sim.Stats.intervals_created);
-        ("interval_comparisons", Int stats.Sim.Stats.interval_comparisons);
-        ("bitmaps_requested", Int stats.Sim.Stats.bitmaps_requested);
-        ("shared_reads", Int stats.Sim.Stats.shared_reads);
-        ("shared_writes", Int stats.Sim.Stats.shared_writes);
-        ("private_accesses", Int stats.Sim.Stats.private_accesses);
-        ("lock_acquires", Int stats.Sim.Stats.lock_acquires);
-        ("barriers", Int stats.Sim.Stats.barriers);
-        ("minor_words", Float (g1.Gc.minor_words -. g0.Gc.minor_words));
-        ("promoted_words", Float (g1.Gc.promoted_words -. g0.Gc.promoted_words));
-        ("major_words", Float (g1.Gc.major_words -. g0.Gc.major_words));
-        ("minor_collections", Int (g1.Gc.minor_collections - g0.Gc.minor_collections));
-        ("major_collections", Int (g1.Gc.major_collections - g0.Gc.major_collections));
-      ]
-  in
-  let line =
-    Printf.sprintf "%-6s p=%-3d %s  %8.2fs wall  %10d ns sim  %9.2e minor words  %d races"
-      (String.lowercase_ascii name) nprocs
-      (if detect && elide then "det+elide" else if detect then "detect   " else "no-detect")
-      (t1 -. t0) outcome.Core.Driver.sim_time_ns
-      (g1.Gc.minor_words -. g0.Gc.minor_words)
-      (List.length outcome.Core.Driver.races)
-  in
-  (entry, line)
+  Obj
+    [
+      ("app", String sp.Core.Experiments.sp_app);
+      ("scale", String sp.Core.Experiments.sp_scale);
+      ("nprocs", Int sp.Core.Experiments.sp_nprocs);
+      ("detect", Bool sp.Core.Experiments.sp_detect);
+      ("elide", Bool sp.Core.Experiments.sp_elide);
+      ("elided_checks", Int stats.Sim.Stats.elided_checks);
+      ("protocol", String sp.Core.Experiments.sp_protocol);
+      ("wall_s", Float sp.Core.Experiments.sp_wall_s);
+      ("sim_time_ns", Int sp.Core.Experiments.sp_sim_time_ns);
+      ("races", Int sp.Core.Experiments.sp_races);
+      ("mem_checksum", Int sp.Core.Experiments.sp_mem_checksum);
+      ("messages", Int stats.Sim.Stats.messages);
+      ("fragments", Int stats.Sim.Stats.fragments);
+      ("bytes", Int stats.Sim.Stats.bytes);
+      ("read_notice_bytes", Int stats.Sim.Stats.read_notice_bytes);
+      ("bitmap_round_bytes", Int stats.Sim.Stats.bitmap_round_bytes);
+      ("diffs_created", Int stats.Sim.Stats.diffs_created);
+      ("diffs_gced", Int stats.Sim.Stats.diffs_gced);
+      ("pages_fetched", Int stats.Sim.Stats.pages_fetched);
+      ("intervals_created", Int stats.Sim.Stats.intervals_created);
+      ("interval_comparisons", Int stats.Sim.Stats.interval_comparisons);
+      ("bitmaps_requested", Int stats.Sim.Stats.bitmaps_requested);
+      ("shared_reads", Int stats.Sim.Stats.shared_reads);
+      ("shared_writes", Int stats.Sim.Stats.shared_writes);
+      ("private_accesses", Int stats.Sim.Stats.private_accesses);
+      ("lock_acquires", Int stats.Sim.Stats.lock_acquires);
+      ("barriers", Int stats.Sim.Stats.barriers);
+      ("minor_words", Float sp.Core.Experiments.sp_minor_words);
+      ("promoted_words", Float sp.Core.Experiments.sp_promoted_words);
+      ("major_words", Float sp.Core.Experiments.sp_major_words);
+      ("minor_collections", Int sp.Core.Experiments.sp_minor_collections);
+      ("major_collections", Int sp.Core.Experiments.sp_major_collections);
+    ]
+
+let line_of_sweep_point (sp : Core.Experiments.sweep_point) =
+  Printf.sprintf "%-6s p=%-3d %s  %8.2fs wall  %10d ns sim  %9.2e minor words  %d races"
+    sp.Core.Experiments.sp_app sp.Core.Experiments.sp_nprocs
+    (if sp.Core.Experiments.sp_detect && sp.Core.Experiments.sp_elide then "det+elide"
+     else if sp.Core.Experiments.sp_detect then "detect   "
+     else "no-detect")
+    sp.Core.Experiments.sp_wall_s sp.Core.Experiments.sp_sim_time_ns
+    sp.Core.Experiments.sp_minor_words sp.Core.Experiments.sp_races
 
 let sweep_procs : int list option ref = ref None
+
+(* Remote-executor flags: 0 workers = in-process domains (--jobs). *)
+let workers = ref 0
+let chaos_spec = ref ""
+let task_deadline = ref 600.0
+
+let json_of_executor_stats (st : Parallel.Executor_stats.t) =
+  let open Bench_json in
+  Obj
+    (("mode", String st.Parallel.Executor_stats.mode)
+    :: ("workers", Int st.Parallel.Executor_stats.workers)
+    :: List.map (fun (k, v) -> (k, Int v)) (Parallel.Executor_stats.fields st))
 
 let run_sweep () =
   section
@@ -307,15 +302,42 @@ let run_sweep () =
   in
   wall (fun () ->
       let results =
-        Parallel.Pool.with_pool ~jobs:!jobs (fun pool ->
-            Parallel.Pool.map_exn pool
-              (fun (name, nprocs, detect, elide) -> bench_point ~nprocs ~detect ~elide name)
-              points)
+        if !workers > 0 then begin
+          let chaos =
+            match Parallel.Chaos.parse !chaos_spec with
+            | Ok plan -> plan
+            | Error msg ->
+                prerr_endline msg;
+                exit 2
+          in
+          let config =
+            {
+              (Parallel.Remote.default_config ~workers:!workers) with
+              Parallel.Remote.task_deadline_s = !task_deadline;
+              chaos;
+            }
+          in
+          Parallel.Remote.with_executor ~config
+            ~run:(Core.Tasks.runner ~clock:now_s ())
+            (fun ex ->
+              let rows = Core.Tasks.sweep_points ~scale:!scale ~ex points in
+              let st = ex.Parallel.Pool.ex_stats () in
+              executor_entry := Some (json_of_executor_stats st);
+              Format.eprintf "%a@." Parallel.Executor_stats.pp st;
+              rows)
+        end
+        else
+          Parallel.Pool.with_pool ~jobs:!jobs (fun pool ->
+              Parallel.Pool.map_exn pool
+                (fun (name, nprocs, detect, elide) ->
+                  Core.Experiments.sweep_point ~clock:now_s ~scale:!scale ~nprocs ~detect
+                    ~elide name)
+                points)
       in
       List.iter
-        (fun (entry, line) ->
-          sweep_entries := entry :: !sweep_entries;
-          Format.fprintf ppf "%s@." line)
+        (fun sp ->
+          sweep_entries := json_of_sweep_point sp :: !sweep_entries;
+          Format.fprintf ppf "%s@." (line_of_sweep_point sp))
         results)
 
 (* ------------------------------------------------------------------ *)
@@ -326,16 +348,21 @@ let write_json path =
   let open Bench_json in
   let v =
     Obj
-      [
-        ("schema", String "cvm-race-bench/1");
-        ("scale", String (scale_name ()));
-        ("entries", List (List.rev !sweep_entries));
-        ( "sections",
-          List
-            (List.rev_map
-               (fun (name, dt) -> Obj [ ("name", String name); ("wall_s", Float dt) ])
-               !section_walls) );
-      ]
+      ([
+         ("schema", String "cvm-race-bench/1");
+         ("scale", String (scale_name ()));
+         ("entries", List (List.rev !sweep_entries));
+       ]
+      @ (match !executor_entry with
+        | Some ex -> [ ("executor", ex) ]
+        | None -> [])
+      @ [
+          ( "sections",
+            List
+              (List.rev_map
+                 (fun (name, dt) -> Obj [ ("name", String name); ("wall_s", Float dt) ])
+                 !section_walls) );
+        ])
   in
   to_file path v;
   Format.fprintf ppf "@.wrote %s@." path
@@ -355,6 +382,8 @@ let all () =
   run_micro ()
 
 let () =
+  (* if this process was spawned as a remote worker, serve tasks and exit *)
+  Parallel.Remote.maybe_worker ~run:(Core.Tasks.runner ~clock:now_s ()) ();
   let args = List.tl (Array.to_list Sys.argv) in
   let rec parse_flags = function
     | "--small" :: rest ->
@@ -384,6 +413,32 @@ let () =
         parse_flags rest
     | "--jobs" :: [] ->
         prerr_endline "--jobs requires a positive integer";
+        exit 2
+    | "--workers" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some n when n >= 1 -> workers := n
+        | _ ->
+            prerr_endline "--workers requires a positive integer";
+            exit 2);
+        parse_flags rest
+    | "--workers" :: [] ->
+        prerr_endline "--workers requires a positive integer";
+        exit 2
+    | "--chaos" :: spec :: rest ->
+        chaos_spec := spec;
+        parse_flags rest
+    | "--chaos" :: [] ->
+        prerr_endline "--chaos requires a plan spec (see docs/PARALLEL.md)";
+        exit 2
+    | "--task-deadline" :: s :: rest ->
+        (match float_of_string_opt s with
+        | Some s when s > 0.0 -> task_deadline := s
+        | _ ->
+            prerr_endline "--task-deadline requires a positive number of seconds";
+            exit 2);
+        parse_flags rest
+    | "--task-deadline" :: [] ->
+        prerr_endline "--task-deadline requires a positive number of seconds";
         exit 2
     | arg :: rest -> arg :: parse_flags rest
     | [] -> []

@@ -148,7 +148,53 @@ let elide_arg =
   in
   Arg.(value & flag & info [ "elide" ] ~doc)
 
+let workers_arg =
+  let doc =
+    "Fan the experiment's independent runs over $(docv) separate worker $(i,processes) \
+     (the fault-tolerant remote executor) instead of in-process domains. Output is \
+     identical to $(b,--jobs 1); executor statistics go to stderr."
+  in
+  Arg.(value & opt int 0 & info [ "workers" ] ~docv:"N" ~doc)
+
+let chaos_arg =
+  let doc =
+    "Seeded failure plan injected into the remote executor's workers (testing the \
+     degradation ladder; e.g. 'seed=7,kill-after=3'). Grammar in docs/PARALLEL.md."
+  in
+  Arg.(value & opt string "" & info [ "chaos" ] ~docv:"SPEC" ~doc)
+
+let task_deadline_arg =
+  let doc = "Remote executor: per-task wall-clock deadline in seconds." in
+  Arg.(value & opt float 600.0 & info [ "task-deadline" ] ~docv:"S" ~doc)
+
 let ppf = Format.std_formatter
+
+let parse_chaos spec =
+  match Parallel.Chaos.parse spec with
+  | Ok plan -> plan
+  | Error msg ->
+      Format.eprintf "%s@." msg;
+      exit 2
+
+(* Experiment fan-outs run through an executor: in-process (inline or
+   domains) by default, worker processes with [--workers N]. Stats go
+   to stderr so stdout stays byte-comparable across executors. *)
+let with_executor ~jobs ~workers ~chaos ~task_deadline f =
+  let run = Core.Tasks.runner () in
+  if workers > 0 then begin
+    let config =
+      {
+        (Parallel.Remote.default_config ~workers) with
+        Parallel.Remote.task_deadline_s = task_deadline;
+        chaos = parse_chaos chaos;
+      }
+    in
+    Parallel.Remote.with_executor ~config ~run (fun ex ->
+        let result = f ex in
+        Format.eprintf "%a@." Parallel.Executor_stats.pp (ex.Parallel.Pool.ex_stats ());
+        result)
+  end
+  else f (Parallel.Pool.task_executor ~jobs ~run ())
 
 let config ~protocol ~no_detect ~first_race_only ~stores_from_diffs ~oracle ~gc_epochs
     ~elide =
@@ -482,20 +528,24 @@ let table_command =
     let doc = "Which experiment: table1, table2, table3, figure3, figure4, figure5, faults." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT" ~doc)
   in
-  let table which scale jobs =
-    match which with
-    | "table1" -> Core.Report.table1 ppf (Core.Experiments.table1 ~scale ~jobs ())
-    | "table2" -> Core.Report.table2 ppf (Core.Experiments.table2 ~scale ~jobs ())
-    | "table3" -> Core.Report.table3 ppf (Core.Experiments.table3 ~scale ~jobs ())
-    | "figure3" -> Core.Report.figure3 ppf (Core.Experiments.figure3 ~scale ~jobs ())
-    | "figure4" -> Core.Report.figure4 ppf (Core.Experiments.figure4 ~scale ~jobs ())
-    | "figure5" -> Core.Report.figure5 ppf (Core.Experiments.figure5_both ~jobs ())
-    | "protocols" ->
-        Core.Report.protocols ppf (Core.Experiments.protocol_comparison_all ~scale ~jobs ())
-    | "faults" -> Core.Report.faults ppf (Core.Experiments.fault_sweep_all ~scale ~jobs ())
-    | other -> Format.fprintf ppf "unknown experiment %S@." other
+  let table which scale jobs workers chaos task_deadline =
+    with_executor ~jobs ~workers ~chaos ~task_deadline (fun ex ->
+        match which with
+        | "table1" -> Core.Report.table1 ppf (Core.Tasks.table1 ~scale ~ex ())
+        | "table2" -> Core.Report.table2 ppf (Core.Tasks.table2 ~scale ~ex ())
+        | "table3" -> Core.Report.table3 ppf (Core.Tasks.table3 ~scale ~ex ())
+        | "figure3" -> Core.Report.figure3 ppf (Core.Tasks.figure3 ~scale ~ex ())
+        | "figure4" -> Core.Report.figure4 ppf (Core.Tasks.figure4 ~scale ~ex ())
+        | "figure5" -> Core.Report.figure5 ppf (Core.Tasks.figure5_both ~ex ())
+        | "protocols" ->
+            Core.Report.protocols ppf (Core.Tasks.protocol_comparison_all ~scale ~ex ())
+        | "faults" -> Core.Report.faults ppf (Core.Tasks.fault_sweep_all ~scale ~ex ())
+        | other -> Format.fprintf ppf "unknown experiment %S@." other)
   in
-  let term = Term.(const table $ which_arg $ scale_arg $ jobs_arg) in
+  let term =
+    Term.(const table $ which_arg $ scale_arg $ jobs_arg $ workers_arg $ chaos_arg
+        $ task_deadline_arg)
+  in
   Cmd.v (Cmd.info "table" ~doc:"Regenerate one of the paper's tables or figures.") term
 
 let sweep_command =
@@ -507,12 +557,15 @@ let sweep_command =
     let doc = "Comma-separated processor counts." in
     Arg.(value & opt (list int) [ 2; 4; 8 ] & info [ "p"; "procs" ] ~docv:"N,N,..." ~doc)
   in
-  let sweep apps procs scale jobs =
+  let sweep apps procs scale jobs workers chaos task_deadline =
     let names = match apps with [] -> Apps.Registry.all_names | names -> names in
-    let rows = Core.Experiments.figure4 ~scale ~procs ~names ~jobs () in
-    Core.Report.figure4 ppf rows
+    with_executor ~jobs ~workers ~chaos ~task_deadline (fun ex ->
+        Core.Report.figure4 ppf (Core.Tasks.figure4 ~scale ~procs ~names ~ex ()))
   in
-  let term = Term.(const sweep $ apps_arg $ procs_list_arg $ scale_arg $ jobs_arg) in
+  let term =
+    Term.(const sweep $ apps_arg $ procs_list_arg $ scale_arg $ jobs_arg $ workers_arg
+        $ chaos_arg $ task_deadline_arg)
+  in
   Cmd.v
     (Cmd.info "sweep"
        ~doc:
@@ -752,6 +805,9 @@ let litmus_command =
     term
 
 let () =
+  (* Spawned as a remote-executor worker? Serve tasks and exit — before
+     any output or argument parsing. *)
+  Parallel.Remote.maybe_worker ~run:(Core.Tasks.runner ()) ();
   let doc = "online data-race detection via coherency guarantees (OSDI '96 reproduction)" in
   let info = Cmd.info "cvm_race" ~version:"1.0.0" ~doc in
   exit

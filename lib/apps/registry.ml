@@ -3,6 +3,14 @@
 
 type scale = Paper | Small | Large
 
+let scale_name = function Paper -> "paper" | Small -> "small" | Large -> "large"
+
+let scale_of_name = function
+  | "paper" -> Paper
+  | "small" -> Small
+  | "large" -> Large
+  | other -> invalid_arg (Printf.sprintf "Registry.scale_of_name: unknown scale %S" other)
+
 let all_names = [ "fft"; "sor"; "tsp"; "water" ]
 
 (* the paper's four plus the extra workloads this library ships *)

@@ -8,6 +8,13 @@ type scale =
           pipeline's headroom sweep; TSP and LU fall back to [Paper]
           (their inputs already dominate their runtimes) *)
 
+val scale_name : scale -> string
+(** ["paper"], ["small"] or ["large"] — the stable spelling used by
+    serialized task descriptions and CLI flags. *)
+
+val scale_of_name : string -> scale
+(** Inverse of {!scale_name}; raises [Invalid_argument] otherwise. *)
+
 val all_names : string list
 (** The paper's four: ["fft"; "sor"; "tsp"; "water"]. The evaluation
     harness sweeps exactly these. *)

@@ -62,15 +62,14 @@ type table2_row = {
   t2_class : Instrument.Static_analysis.classification;
 }
 
-let table2 ?(scale = Apps.Registry.Paper) ?jobs () =
-  pmap ?jobs
-    (fun name ->
-      let app = Apps.Registry.make ~scale name in
-      {
-        t2_name = app.Apps.App.name;
-        t2_class = Instrument.Static_analysis.classify (app.Apps.App.binary ());
-      })
-    Apps.Registry.all_names
+let table2_row ?(scale = Apps.Registry.Paper) name =
+  let app = Apps.Registry.make ~scale name in
+  {
+    t2_name = app.Apps.App.name;
+    t2_class = Instrument.Static_analysis.classify (app.Apps.App.binary ());
+  }
+
+let table2 ?scale ?jobs () = pmap ?jobs (table2_row ?scale) Apps.Registry.all_names
 
 (* ------------------------------------------------------------------ *)
 (* Table 3: dynamic metrics                                            *)
@@ -148,19 +147,18 @@ let figure4_row ?(scale = Apps.Registry.Paper) ?(procs = [ 2; 4; 8 ]) name =
   }
 
 (* Parallelism is per (app, nprocs) point, not per app: the slowest app
-   no longer serializes its whole curve. *)
-let figure4 ?scale ?(procs = [ 2; 4; 8 ]) ?(names = Apps.Registry.all_names) ?jobs () =
-  let points =
-    List.concat_map (fun name -> List.map (fun nprocs -> (name, nprocs)) procs) names
-  in
-  let factors =
-    pmap ?jobs
-      (fun (name, nprocs) ->
-        let app = Apps.Registry.make ?scale name in
-        let sd = Driver.measure_slowdown ~app ~nprocs () in
-        (app.Apps.App.name, (nprocs, sd.Driver.factor)))
-      points
-  in
+   no longer serializes its whole curve. The point list, the per-point
+   measurement and the regrouping are exposed separately so executors
+   that ship points to worker processes can reuse them. *)
+let figure4_points ?(procs = [ 2; 4; 8 ]) ?(names = Apps.Registry.all_names) () =
+  List.concat_map (fun name -> List.map (fun nprocs -> (name, nprocs)) procs) names
+
+let figure4_point ?scale ~nprocs name =
+  let app = Apps.Registry.make ?scale name in
+  let sd = Driver.measure_slowdown ~app ~nprocs () in
+  (app.Apps.App.name, (nprocs, sd.Driver.factor))
+
+let figure4_rows ~names ~points factors =
   List.map
     (fun name ->
       let mine =
@@ -174,6 +172,13 @@ let figure4 ?scale ?(procs = [ 2; 4; 8 ]) ?(names = Apps.Registry.all_names) ?jo
         f4_points = List.map snd mine;
       })
     names
+
+let figure4 ?scale ?procs ?(names = Apps.Registry.all_names) ?jobs () =
+  let points = figure4_points ?procs ~names () in
+  let factors =
+    pmap ?jobs (fun (name, nprocs) -> figure4_point ?scale ~nprocs name) points
+  in
+  figure4_rows ~names ~points factors
 
 (* ------------------------------------------------------------------ *)
 (* Figure 5: races that occur only on a weak memory system             *)
@@ -419,3 +424,67 @@ let site_retention_ablation ?(scale = Apps.Registry.Paper) ?(nprocs = default_pr
 
 let site_retention_ablation_all ?scale ?nprocs ?jobs names =
   pmap ?jobs (site_retention_ablation ?scale ?nprocs) names
+
+(* ------------------------------------------------------------------ *)
+(* The benchmark harness's machine-readable sweep point: one simulated
+   run per (app, nprocs, detect, elide) tuple, timed and bracketed by
+   [Gc.quick_stat] so allocation pressure is part of the record. Lives
+   here (rather than in bench/) so a worker process can run the whole
+   measurement — GC brackets included — on its own heap and ship the
+   record back. [clock] defaults to wall time; the bench harness passes
+   its monotonic clock for in-process runs. *)
+
+type sweep_point = {
+  sp_app : string;  (* lowercase *)
+  sp_scale : string;  (* Registry.scale_name spelling *)
+  sp_nprocs : int;
+  sp_detect : bool;
+  sp_elide : bool;
+  sp_protocol : string;
+  sp_wall_s : float;
+  sp_sim_time_ns : int;
+  sp_races : int;
+  sp_mem_checksum : int;
+  sp_stats : Sim.Stats.t;
+  sp_minor_words : float;
+  sp_promoted_words : float;
+  sp_major_words : float;
+  sp_minor_collections : int;
+  sp_major_collections : int;
+}
+
+let sweep_point ?(clock = Unix.gettimeofday) ~scale ~nprocs ~detect ~elide name =
+  let app = Apps.Registry.make ~scale name in
+  let cfg =
+    {
+      Lrc.Config.default with
+      Lrc.Config.detect;
+      elide_sites = (if elide then Some [] else None);
+    }
+  in
+  (* level the heap between points so one entry's garbage does not bill
+     the next entry's collector *)
+  Gc.full_major ();
+  let g0 = Gc.quick_stat () in
+  let t0 = clock () in
+  let outcome = Driver.run ~cfg ~app ~nprocs () in
+  let t1 = clock () in
+  let g1 = Gc.quick_stat () in
+  {
+    sp_app = String.lowercase_ascii name;
+    sp_scale = Apps.Registry.scale_name scale;
+    sp_nprocs = nprocs;
+    sp_detect = detect;
+    sp_elide = elide;
+    sp_protocol = Lrc.Config.protocol_name cfg.Lrc.Config.protocol;
+    sp_wall_s = t1 -. t0;
+    sp_sim_time_ns = outcome.Driver.sim_time_ns;
+    sp_races = List.length outcome.Driver.races;
+    sp_mem_checksum = outcome.Driver.mem_checksum;
+    sp_stats = outcome.Driver.stats;
+    sp_minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
+    sp_promoted_words = g1.Gc.promoted_words -. g0.Gc.promoted_words;
+    sp_major_words = g1.Gc.major_words -. g0.Gc.major_words;
+    sp_minor_collections = g1.Gc.minor_collections - g0.Gc.minor_collections;
+    sp_major_collections = g1.Gc.major_collections - g0.Gc.major_collections;
+  }

@@ -34,6 +34,7 @@ type table2_row = {
   t2_class : Instrument.Static_analysis.classification;
 }
 
+val table2_row : ?scale:Apps.Registry.scale -> string -> table2_row
 val table2 : ?scale:Apps.Registry.scale -> ?jobs:int -> unit -> table2_row list
 
 (** {1 Table 3 — dynamic metrics} *)
@@ -67,6 +68,21 @@ val figure3 : ?scale:Apps.Registry.scale -> ?nprocs:int -> ?jobs:int -> unit -> 
 type figure4_row = { f4_name : string; f4_points : (int * float) list }
 
 val figure4_row : ?scale:Apps.Registry.scale -> ?procs:int list -> string -> figure4_row
+
+val figure4_points :
+  ?procs:int list -> ?names:string list -> unit -> (string * int) list
+(** The (app, nprocs) measurement points of a {!figure4} call, in row
+    order — the executor-facing decomposition. *)
+
+val figure4_point : ?scale:Apps.Registry.scale -> nprocs:int -> string -> string * (int * float)
+(** One measurement: (display name, (nprocs, slowdown factor)). *)
+
+val figure4_rows :
+  names:string list ->
+  points:(string * int) list ->
+  (string * (int * float)) list ->
+  figure4_row list
+(** Regroup per-point factors (aligned with [points]) into per-app rows. *)
 
 val figure4 :
   ?scale:Apps.Registry.scale ->
@@ -118,6 +134,13 @@ type protocol_row = {
   pr_page_fetches : int;
   pr_diffs : int;
 }
+
+val compared_protocols : Lrc.Config.protocol list
+(** Single-writer, multi-writer, home-based. *)
+
+val protocol_row :
+  scale:Apps.Registry.scale -> nprocs:int -> string -> Lrc.Config.protocol -> protocol_row
+(** One (app, protocol) baseline run. *)
 
 val protocol_comparison :
   ?scale:Apps.Registry.scale -> ?nprocs:int -> string -> protocol_row list
@@ -179,3 +202,38 @@ val site_retention_ablation :
 
 val site_retention_ablation_all :
   ?scale:Apps.Registry.scale -> ?nprocs:int -> ?jobs:int -> string list -> retention_row list
+
+(** {1 Benchmark sweep points} *)
+
+type sweep_point = {
+  sp_app : string;  (** lowercase *)
+  sp_scale : string;  (** {!Apps.Registry.scale_name} spelling *)
+  sp_nprocs : int;
+  sp_detect : bool;
+  sp_elide : bool;
+  sp_protocol : string;
+  sp_wall_s : float;
+  sp_sim_time_ns : int;
+  sp_races : int;
+  sp_mem_checksum : int;
+  sp_stats : Sim.Stats.t;
+  sp_minor_words : float;
+  sp_promoted_words : float;
+  sp_major_words : float;
+  sp_minor_collections : int;
+  sp_major_collections : int;
+}
+
+val sweep_point :
+  ?clock:(unit -> float) ->
+  scale:Apps.Registry.scale ->
+  nprocs:int ->
+  detect:bool ->
+  elide:bool ->
+  string ->
+  sweep_point
+(** One benchmark sweep measurement: a full simulated run bracketed by
+    [Gc.full_major] + [Gc.quick_stat], timed with [clock] (default wall
+    time; the bench harness passes its monotonic clock for in-process
+    runs). Self-contained, so executors may run it in a worker
+    process. *)

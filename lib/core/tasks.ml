@@ -1,0 +1,211 @@
+(* The interpreter that turns a serializable {!Parallel.Task} into a
+   result, plus executor-aware fronts for every sweep-shaped experiment.
+   The task vocabulary lives below the core library (pure data, string
+   names); this module resolves those names against the registry and
+   runs the row-builders, so the dependency stays one-directional:
+   parallel -> core, never back.
+
+   Results cross process boundaries as marshaled [value]s behind a
+   codec version, decoded by {!value_of_bytes} on the supervisor. Every
+   [value] payload is plain data (rows of scalars, strings and small
+   variants) — no closures, no custom blocks — which is what makes
+   [Marshal] round-trip them exactly and keeps remote results
+   byte-identical to inline ones.
+
+   [Equiv_combo] tasks are the one case this module cannot interpret:
+   the equivalence harness lives above core (it links the test combo
+   table). Binaries that serve those tasks pass [?extra] to {!runner},
+   which takes precedence over the built-in interpreter. *)
+
+type value =
+  | V_string of string
+  | V_table1 of Experiments.table1_row
+  | V_table2 of Experiments.table2_row
+  | V_table3 of Experiments.table3_row
+  | V_figure3 of Experiments.figure3_row
+  | V_figure4 of (string * (int * float))  (* display name, (nprocs, factor) *)
+  | V_figure5 of Experiments.figure5_result
+  | V_protocol of Experiments.protocol_row
+  | V_faults of Experiments.fault_row list  (* one app's whole drop sweep *)
+  | V_ablation of Experiments.ablation_row
+  | V_retention of Experiments.retention_row
+  | V_sweep of Experiments.sweep_point
+
+let value_codec_version = 1
+
+exception Corrupt of string
+
+let value_to_bytes v = Marshal.to_string (value_codec_version, v) []
+
+let value_of_bytes s =
+  let version, value =
+    try (Marshal.from_string s 0 : int * value)
+    with _ -> raise (Corrupt "undecodable result payload")
+  in
+  if version <> value_codec_version then
+    raise
+      (Corrupt
+         (Printf.sprintf "result codec version %d (speaking %d)" version value_codec_version));
+  value
+
+let scale_of = Apps.Registry.scale_of_name
+
+let eval ?clock (task : Parallel.Task.t) : value =
+  match task with
+  | Probe { reply; spin_ms; sleep_ms } ->
+      if spin_ms > 0 then begin
+        let until = Unix.gettimeofday () +. (float_of_int spin_ms /. 1000.0) in
+        let x = ref 0 in
+        while Unix.gettimeofday () < until do
+          x := (!x * 1103515245) + 12345
+        done
+      end;
+      if sleep_ms > 0 then Unix.sleepf (float_of_int sleep_ms /. 1000.0);
+      V_string reply
+  | Table1_row { scale; nprocs; app } ->
+      V_table1 (Experiments.table1_row ~scale:(scale_of scale) ~nprocs app)
+  | Table2_row { scale; app } -> V_table2 (Experiments.table2_row ~scale:(scale_of scale) app)
+  | Table3_row { scale; nprocs; app } ->
+      V_table3 (Experiments.table3_row ~scale:(scale_of scale) ~nprocs app)
+  | Figure3_row { scale; nprocs; app } ->
+      V_figure3 (Experiments.figure3_row ~scale:(scale_of scale) ~nprocs app)
+  | Figure4_point { scale; nprocs; app } ->
+      V_figure4 (Experiments.figure4_point ~scale:(scale_of scale) ~nprocs app)
+  | Figure5 { protocol } ->
+      V_figure5 (Experiments.figure5 ~protocol:(Lrc.Config.protocol_of_name protocol) ())
+  | Protocol_row { scale; nprocs; app; protocol } ->
+      V_protocol
+        (Experiments.protocol_row ~scale:(scale_of scale) ~nprocs app
+           (Lrc.Config.protocol_of_name protocol))
+  | Fault_app_sweep { scale; nprocs; drops; app } ->
+      V_faults (Experiments.fault_sweep ~scale:(scale_of scale) ~nprocs ~drops app)
+  | Ablation_row { scale; nprocs; app } ->
+      V_ablation (Experiments.stores_from_diffs_ablation ~scale:(scale_of scale) ~nprocs app)
+  | Retention_row { scale; nprocs; app } ->
+      V_retention (Experiments.site_retention_ablation ~scale:(scale_of scale) ~nprocs app)
+  | Bench_point { scale; nprocs; detect; elide; app } ->
+      V_sweep (Experiments.sweep_point ?clock ~scale:(scale_of scale) ~nprocs ~detect ~elide app)
+  | Equiv_combo { label } ->
+      failwith
+        (Printf.sprintf "Core.Tasks.eval: equiv combo %S needs the harness's extra interpreter"
+           label)
+
+let runner ?clock ?extra () task =
+  match Option.bind extra (fun f -> f task) with
+  | Some bytes -> bytes
+  | None -> value_to_bytes (eval ?clock task)
+
+(* ------------------------------------------------------------------ *)
+(* Executor-aware fronts. Each builds the same task list an in-process
+   sweep would run, fans it over [ex] (inline, domains or remote
+   workers — all submission-ordered), and decodes the rows. *)
+
+let unexpected what = failwith (Printf.sprintf "Core.Tasks: executor returned a non-%s row" what)
+
+let run_values (ex : Parallel.Pool.executor) tasks =
+  Parallel.Pool.run_tasks_exn ex tasks |> List.map value_of_bytes
+
+let scale_name = Apps.Registry.scale_name
+
+let table1 ?(scale = Apps.Registry.Paper) ?(nprocs = Experiments.default_procs) ~ex () =
+  run_values ex
+    (List.map
+       (fun app ->
+         Parallel.Task.Table1_row { scale = scale_name scale; nprocs; app })
+       Apps.Registry.all_names)
+  |> List.map (function V_table1 r -> r | _ -> unexpected "table1")
+
+let table2 ?(scale = Apps.Registry.Paper) ~ex () =
+  run_values ex
+    (List.map
+       (fun app -> Parallel.Task.Table2_row { scale = scale_name scale; app })
+       Apps.Registry.all_names)
+  |> List.map (function V_table2 r -> r | _ -> unexpected "table2")
+
+let table3 ?(scale = Apps.Registry.Paper) ?(nprocs = Experiments.default_procs) ~ex () =
+  run_values ex
+    (List.map
+       (fun app ->
+         Parallel.Task.Table3_row { scale = scale_name scale; nprocs; app })
+       Apps.Registry.all_names)
+  |> List.map (function V_table3 r -> r | _ -> unexpected "table3")
+
+let figure3 ?(scale = Apps.Registry.Paper) ?(nprocs = Experiments.default_procs) ~ex () =
+  run_values ex
+    (List.map
+       (fun app ->
+         Parallel.Task.Figure3_row { scale = scale_name scale; nprocs; app })
+       Apps.Registry.all_names)
+  |> List.map (function V_figure3 r -> r | _ -> unexpected "figure3")
+
+let figure4 ?(scale = Apps.Registry.Paper) ?procs ?(names = Apps.Registry.all_names) ~ex () =
+  let points = Experiments.figure4_points ?procs ~names () in
+  let factors =
+    run_values ex
+      (List.map
+         (fun (app, nprocs) ->
+           Parallel.Task.Figure4_point { scale = scale_name scale; nprocs; app })
+         points)
+    |> List.map (function V_figure4 r -> r | _ -> unexpected "figure4")
+  in
+  Experiments.figure4_rows ~names ~points factors
+
+let figure5_both ~ex () =
+  run_values ex
+    (List.map
+       (fun protocol -> Parallel.Task.Figure5 { protocol = Lrc.Config.protocol_name protocol })
+       [ Lrc.Config.Single_writer; Lrc.Config.Seq_consistent ])
+  |> List.map (function V_figure5 r -> r | _ -> unexpected "figure5")
+
+let protocol_comparison_all ?(scale = Apps.Registry.Paper)
+    ?(nprocs = Experiments.default_procs) ?(names = Apps.Registry.all_names) ~ex () =
+  let pairs =
+    List.concat_map
+      (fun app -> List.map (fun p -> (app, p)) Experiments.compared_protocols)
+      names
+  in
+  run_values ex
+    (List.map
+       (fun (app, protocol) ->
+         Parallel.Task.Protocol_row
+           {
+             scale = scale_name scale;
+             nprocs;
+             app;
+             protocol = Lrc.Config.protocol_name protocol;
+           })
+       pairs)
+  |> List.map (function V_protocol r -> r | _ -> unexpected "protocol")
+
+let fault_sweep_all ?(scale = Apps.Registry.Paper) ?(nprocs = Experiments.default_procs)
+    ?(drops = [ 0.0; 0.05; 0.2 ]) ~ex () =
+  run_values ex
+    (List.map
+       (fun app ->
+         Parallel.Task.Fault_app_sweep { scale = scale_name scale; nprocs; drops; app })
+       Apps.Registry.all_names)
+  |> List.concat_map (function V_faults rows -> rows | _ -> unexpected "fault")
+
+let stores_from_diffs_ablation_all ?(scale = Apps.Registry.Paper)
+    ?(nprocs = Experiments.default_procs) ~ex names =
+  run_values ex
+    (List.map
+       (fun app -> Parallel.Task.Ablation_row { scale = scale_name scale; nprocs; app })
+       names)
+  |> List.map (function V_ablation r -> r | _ -> unexpected "ablation")
+
+let site_retention_ablation_all ?(scale = Apps.Registry.Paper)
+    ?(nprocs = Experiments.default_procs) ~ex names =
+  run_values ex
+    (List.map
+       (fun app -> Parallel.Task.Retention_row { scale = scale_name scale; nprocs; app })
+       names)
+  |> List.map (function V_retention r -> r | _ -> unexpected "retention")
+
+let sweep_points ~scale ~ex points =
+  run_values ex
+    (List.map
+       (fun (app, nprocs, detect, elide) ->
+         Parallel.Task.Bench_point { scale = scale_name scale; nprocs; detect; elide; app })
+       points)
+  |> List.map (function V_sweep r -> r | _ -> unexpected "sweep")

@@ -1,0 +1,122 @@
+(** Interpreter for serializable {!Parallel.Task} descriptions, plus
+    executor-aware fronts for the sweep-shaped experiments.
+
+    Every front builds the same task list the corresponding
+    {!Experiments} function would fan over a pool, runs it through the
+    given {!Parallel.Pool.executor} (inline, domains, or remote worker
+    processes) and decodes the rows — in submission order under every
+    executor, so output is identical whichever one the user picked. *)
+
+type value =
+  | V_string of string
+  | V_table1 of Experiments.table1_row
+  | V_table2 of Experiments.table2_row
+  | V_table3 of Experiments.table3_row
+  | V_figure3 of Experiments.figure3_row
+  | V_figure4 of (string * (int * float))
+      (** display name, (nprocs, slowdown factor) *)
+  | V_figure5 of Experiments.figure5_result
+  | V_protocol of Experiments.protocol_row
+  | V_faults of Experiments.fault_row list  (** one app's whole drop sweep *)
+  | V_ablation of Experiments.ablation_row
+  | V_retention of Experiments.retention_row
+  | V_sweep of Experiments.sweep_point
+
+val value_codec_version : int
+
+exception Corrupt of string
+
+val value_to_bytes : value -> string
+val value_of_bytes : string -> value
+(** Raises {!Corrupt} on undecodable bytes or a version mismatch. *)
+
+val eval : ?clock:(unit -> float) -> Parallel.Task.t -> value
+(** Run one task to its row. [clock] feeds {!Experiments.sweep_point}
+    for [Bench_point] tasks. Fails on [Equiv_combo] — that vocabulary
+    belongs to the equivalence harness above this library (see
+    [runner]'s [?extra]). *)
+
+val runner :
+  ?clock:(unit -> float) ->
+  ?extra:(Parallel.Task.t -> string option) ->
+  unit ->
+  Parallel.Task.t ->
+  string
+(** The interpreter handed to executors and to
+    {!Parallel.Remote.maybe_worker}: [extra] (when it answers [Some])
+    takes precedence, letting binaries that link the equivalence
+    harness serve [Equiv_combo] tasks; everything else goes through
+    {!eval} and {!value_to_bytes}. *)
+
+(** {1 Executor-aware experiment fronts} *)
+
+val table1 :
+  ?scale:Apps.Registry.scale ->
+  ?nprocs:int ->
+  ex:Parallel.Pool.executor ->
+  unit ->
+  Experiments.table1_row list
+
+val table2 :
+  ?scale:Apps.Registry.scale -> ex:Parallel.Pool.executor -> unit -> Experiments.table2_row list
+
+val table3 :
+  ?scale:Apps.Registry.scale ->
+  ?nprocs:int ->
+  ex:Parallel.Pool.executor ->
+  unit ->
+  Experiments.table3_row list
+
+val figure3 :
+  ?scale:Apps.Registry.scale ->
+  ?nprocs:int ->
+  ex:Parallel.Pool.executor ->
+  unit ->
+  Experiments.figure3_row list
+
+val figure4 :
+  ?scale:Apps.Registry.scale ->
+  ?procs:int list ->
+  ?names:string list ->
+  ex:Parallel.Pool.executor ->
+  unit ->
+  Experiments.figure4_row list
+
+val figure5_both : ex:Parallel.Pool.executor -> unit -> Experiments.figure5_result list
+
+val protocol_comparison_all :
+  ?scale:Apps.Registry.scale ->
+  ?nprocs:int ->
+  ?names:string list ->
+  ex:Parallel.Pool.executor ->
+  unit ->
+  Experiments.protocol_row list
+
+val fault_sweep_all :
+  ?scale:Apps.Registry.scale ->
+  ?nprocs:int ->
+  ?drops:float list ->
+  ex:Parallel.Pool.executor ->
+  unit ->
+  Experiments.fault_row list
+
+val stores_from_diffs_ablation_all :
+  ?scale:Apps.Registry.scale ->
+  ?nprocs:int ->
+  ex:Parallel.Pool.executor ->
+  string list ->
+  Experiments.ablation_row list
+
+val site_retention_ablation_all :
+  ?scale:Apps.Registry.scale ->
+  ?nprocs:int ->
+  ex:Parallel.Pool.executor ->
+  string list ->
+  Experiments.retention_row list
+
+val sweep_points :
+  scale:Apps.Registry.scale ->
+  ex:Parallel.Pool.executor ->
+  (string * int * bool * bool) list ->
+  Experiments.sweep_point list
+(** The bench harness's (app, nprocs, detect, elide) points. *)

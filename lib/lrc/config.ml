@@ -87,3 +87,10 @@ let protocol_name = function
   | Multi_writer -> "multi-writer"
   | Home_based -> "home-based"
   | Seq_consistent -> "sequential-consistency"
+
+let protocol_of_name = function
+  | "single-writer" -> Single_writer
+  | "multi-writer" -> Multi_writer
+  | "home-based" -> Home_based
+  | "sequential-consistency" -> Seq_consistent
+  | other -> invalid_arg (Printf.sprintf "Config.protocol_of_name: unknown protocol %S" other)

@@ -70,3 +70,8 @@ val default : t
 (** Single-writer protocol, detection on, everything else off. *)
 
 val protocol_name : protocol -> string
+
+val protocol_of_name : string -> protocol
+(** Inverse of {!protocol_name} — the stable spelling used by
+    serialized task descriptions. Raises [Invalid_argument]
+    otherwise. *)

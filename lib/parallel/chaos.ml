@@ -1,0 +1,198 @@
+(* Seeded failure plans for the remote executor, mirroring the style of
+   [Sim.Fault]: a plan is deterministic data, parsed from a compact
+   spec string so the CLI and CI smokes can inject the same failures
+   reproducibly. The plan is evaluated entirely on the *worker* side
+   (it rides to the worker in an environment variable), so the
+   supervisor's detection and recovery paths are exercised for real:
+   a killed worker really is an EOF on the pipe, a hung worker really
+   does blow its task deadline, a corrupted frame really does fail the
+   checksum.
+
+   Deterministic triggers are keyed by (worker slot, spawn generation,
+   per-incarnation task ordinal); probabilistic triggers draw from a
+   splitmix-style hash of (seed, slot, generation, ordinal), so a plan
+   plus a dispatch history fully determines every failure.
+
+   Spec syntax (comma-separated, order-free):
+
+     seed=N             hash seed for the p-* probabilities
+     kill-after=K       generation-0 workers die instead of answering
+                        their K-th task (so the task is genuinely lost)
+     hang=W:G:K         worker W, generation G sleeps forever on its
+                        K-th task; heartbeats continue (deadline path)
+     mute=W:G:K         like hang, but heartbeats stop too (heartbeat-
+                        grace path)
+     corrupt=W:G:K      flip a payload byte in the K-th result frame
+     truncate=W:G:K     write half of the K-th result frame, then exit
+     spawn-crash=W:G    worker W's generation G exits at startup
+     crash-loop=W       worker W exits at startup on *every* spawn
+                        (drives the crash-loop breaker)
+     poison=LABEL       die instead of answering any task whose label
+                        is LABEL, every generation (drives the per-task
+                        retry cap into the inline fallback)
+     p-kill=F p-hang=F p-corrupt=F
+                        per-task probabilities of the same failures *)
+
+type plan = {
+  seed : int;
+  kill_after : int option;
+  hang : (int * int * int) option;
+  mute : (int * int * int) option;
+  corrupt : (int * int * int) option;
+  truncate : (int * int * int) option;
+  spawn_crash : (int * int) option;
+  crash_loop : int option;
+  poison : string option;
+  p_kill : float;
+  p_hang : float;
+  p_corrupt : float;
+}
+
+let none =
+  {
+    seed = 0;
+    kill_after = None;
+    hang = None;
+    mute = None;
+    corrupt = None;
+    truncate = None;
+    spawn_crash = None;
+    crash_loop = None;
+    poison = None;
+    p_kill = 0.0;
+    p_hang = 0.0;
+    p_corrupt = 0.0;
+  }
+
+let active p = p <> none && p <> { none with seed = p.seed }
+
+(* ------------------------------------------------------------------ *)
+(* Spec string round-trip *)
+
+let to_spec p =
+  let parts = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> parts := s :: !parts) fmt in
+  if p.seed <> 0 then add "seed=%d" p.seed;
+  (match p.kill_after with Some k -> add "kill-after=%d" k | None -> ());
+  let triple name = function Some (w, g, k) -> add "%s=%d:%d:%d" name w g k | None -> () in
+  triple "hang" p.hang;
+  triple "mute" p.mute;
+  triple "corrupt" p.corrupt;
+  triple "truncate" p.truncate;
+  (match p.spawn_crash with Some (w, g) -> add "spawn-crash=%d:%d" w g | None -> ());
+  (match p.crash_loop with Some w -> add "crash-loop=%d" w | None -> ());
+  (match p.poison with Some l -> add "poison=%s" l | None -> ());
+  if p.p_kill > 0.0 then add "p-kill=%g" p.p_kill;
+  if p.p_hang > 0.0 then add "p-hang=%g" p.p_hang;
+  if p.p_corrupt > 0.0 then add "p-corrupt=%g" p.p_corrupt;
+  String.concat "," (List.rev !parts)
+
+let parse spec =
+  let parse_triple v =
+    match String.split_on_char ':' v with
+    | [ w; g; k ] -> (
+        match (int_of_string_opt w, int_of_string_opt g, int_of_string_opt k) with
+        | Some w, Some g, Some k -> Some (w, g, k)
+        | _ -> None)
+    | _ -> None
+  in
+  let parse_pair v =
+    match String.split_on_char ':' v with
+    | [ w; g ] -> (
+        match (int_of_string_opt w, int_of_string_opt g) with
+        | Some w, Some g -> Some (w, g)
+        | _ -> None)
+    | _ -> None
+  in
+  let apply plan kv =
+    match String.index_opt kv '=' with
+    | None -> Error (Printf.sprintf "chaos: %S is not key=value" kv)
+    | Some i -> (
+        let key = String.sub kv 0 i in
+        let v = String.sub kv (i + 1) (String.length kv - i - 1) in
+        let int_v () =
+          match int_of_string_opt v with
+          | Some n -> Ok n
+          | None -> Error (Printf.sprintf "chaos: %s wants an integer, got %S" key v)
+        in
+        let float_v () =
+          match float_of_string_opt v with
+          | Some f when f >= 0.0 && f <= 1.0 -> Ok f
+          | _ -> Error (Printf.sprintf "chaos: %s wants a probability, got %S" key v)
+        in
+        let triple_v () =
+          match parse_triple v with
+          | Some t -> Ok t
+          | None -> Error (Printf.sprintf "chaos: %s wants WORKER:GEN:TASK, got %S" key v)
+        in
+        match key with
+        | "seed" -> Result.map (fun n -> { plan with seed = n }) (int_v ())
+        | "kill-after" -> Result.map (fun n -> { plan with kill_after = Some n }) (int_v ())
+        | "hang" -> Result.map (fun t -> { plan with hang = Some t }) (triple_v ())
+        | "mute" -> Result.map (fun t -> { plan with mute = Some t }) (triple_v ())
+        | "corrupt" -> Result.map (fun t -> { plan with corrupt = Some t }) (triple_v ())
+        | "truncate" -> Result.map (fun t -> { plan with truncate = Some t }) (triple_v ())
+        | "spawn-crash" -> (
+            match parse_pair v with
+            | Some p -> Ok { plan with spawn_crash = Some p }
+            | None -> Error (Printf.sprintf "chaos: spawn-crash wants WORKER:GEN, got %S" v))
+        | "crash-loop" -> Result.map (fun n -> { plan with crash_loop = Some n }) (int_v ())
+        | "poison" -> Ok { plan with poison = Some v }
+        | "p-kill" -> Result.map (fun f -> { plan with p_kill = f }) (float_v ())
+        | "p-hang" -> Result.map (fun f -> { plan with p_hang = f }) (float_v ())
+        | "p-corrupt" -> Result.map (fun f -> { plan with p_corrupt = f }) (float_v ())
+        | _ -> Error (Printf.sprintf "chaos: unknown key %S" key))
+  in
+  let trimmed = String.trim spec in
+  if trimmed = "" then Ok none
+  else
+    List.fold_left
+      (fun acc kv -> Result.bind acc (fun plan -> apply plan (String.trim kv)))
+      (Ok none)
+      (String.split_on_char ',' trimmed)
+
+(* ------------------------------------------------------------------ *)
+(* Worker-side decisions *)
+
+(* 32-bit avalanche (lowbias32-style) over (seed, slot, gen, ordinal,
+   stream): enough mixing that the three probability draws are
+   independent. 32-bit constants keep every product inside OCaml's
+   63-bit int. *)
+let hash seed slot gen nth stream =
+  let mix h =
+    let h = h land 0xffffffff in
+    let h = (h lxor (h lsr 16)) * 0x7feb352d land 0xffffffff in
+    let h = (h lxor (h lsr 15)) * 0x846ca68b land 0xffffffff in
+    h lxor (h lsr 16)
+  in
+  mix
+    (seed
+    + mix ((slot * 0x9e3779b9) + mix ((gen * 0x85ebca6b) + mix ((nth * 0xc2b2ae35) + mix stream))))
+
+let draw plan ~slot ~gen ~nth ~stream =
+  float_of_int (hash plan.seed slot gen nth stream land 0xffffff) /. 16777216.0
+
+type action =
+  | Run  (** behave *)
+  | Die  (** exit abruptly instead of answering — the task is lost *)
+  | Hang of { mute : bool }  (** never answer; [mute] also stops heartbeats *)
+  | Corrupt_result  (** flip a payload byte in the result frame *)
+  | Truncate_result  (** write half the result frame, then exit *)
+
+let spawn_crashes plan ~slot ~gen =
+  plan.crash_loop = Some slot || plan.spawn_crash = Some (slot, gen)
+
+let decide plan ~slot ~gen ~nth ~label =
+  let at = Some (slot, gen, nth) in
+  if plan.poison = Some label then Die
+  else if plan.kill_after = Some nth && gen = 0 then Die
+  else if plan.hang = at then Hang { mute = false }
+  else if plan.mute = at then Hang { mute = true }
+  else if plan.corrupt = at then Corrupt_result
+  else if plan.truncate = at then Truncate_result
+  else if plan.p_kill > 0.0 && draw plan ~slot ~gen ~nth ~stream:1 < plan.p_kill then Die
+  else if plan.p_hang > 0.0 && draw plan ~slot ~gen ~nth ~stream:2 < plan.p_hang then
+    Hang { mute = false }
+  else if plan.p_corrupt > 0.0 && draw plan ~slot ~gen ~nth ~stream:3 < plan.p_corrupt then
+    Corrupt_result
+  else Run

@@ -1,0 +1,55 @@
+(** Seeded, deterministic failure plans for the remote executor,
+    mirroring {!Sim.Fault}'s plan style at the orchestration layer.
+    A plan travels to each worker process in an environment variable
+    and is evaluated worker-side, so the supervisor's detection and
+    recovery machinery is driven by real failures: real pipe EOFs,
+    real deadline expiries, real checksum mismatches.
+
+    Deterministic triggers are keyed by (worker slot, spawn generation,
+    per-incarnation task ordinal, 1-based); probabilistic triggers hash
+    (seed, slot, generation, ordinal). Either way, a plan plus a
+    dispatch history fully determines every failure — which is what
+    lets the chaos determinism proof assert byte-identical output. *)
+
+type plan = {
+  seed : int;
+  kill_after : int option;
+      (** generation-0 workers die instead of answering their K-th task *)
+  hang : (int * int * int) option;
+      (** (slot, gen, task): sleep forever, heartbeats continue *)
+  mute : (int * int * int) option;
+      (** (slot, gen, task): sleep forever, heartbeats stop *)
+  corrupt : (int * int * int) option;  (** flip a byte in that result frame *)
+  truncate : (int * int * int) option;  (** write half that frame, then exit *)
+  spawn_crash : (int * int) option;  (** (slot, gen): exit at startup *)
+  crash_loop : int option;  (** slot exits at startup on every spawn *)
+  poison : string option;
+      (** die instead of answering any task with this label, every
+          generation — drives the retry cap into the inline fallback *)
+  p_kill : float;
+  p_hang : float;
+  p_corrupt : float;
+}
+
+val none : plan
+val active : plan -> bool
+
+val to_spec : plan -> string
+val parse : string -> (plan, string) result
+(** Round-trip of the compact [key=value,...] spec syntax used by
+    [--chaos] flags and the [CVM_REMOTE_CHAOS] environment variable;
+    see the implementation header for the grammar. [parse ""] is
+    {!none}. *)
+
+type action =
+  | Run
+  | Die
+  | Hang of { mute : bool }
+  | Corrupt_result
+  | Truncate_result
+
+val spawn_crashes : plan -> slot:int -> gen:int -> bool
+
+val decide : plan -> slot:int -> gen:int -> nth:int -> label:string -> action
+(** What this worker incarnation does with its [nth] (1-based) task.
+    Deterministic triggers win over probabilistic ones. *)

@@ -1,0 +1,76 @@
+(* Counters the remote executor (and, trivially, the in-process
+   executors) expose to the surfaces that ran a sweep: how many tasks
+   were dispatched, how many had to be retried or relocated inline, how
+   many workers were lost and respawned, and how much framed traffic
+   crossed the pipes. Mutable in place: the supervisor increments them
+   from its event loop and callers read a snapshot after the run. *)
+
+type t = {
+  mode : string;  (* "inline" | "domains" | "remote" *)
+  workers : int;
+  mutable tasks_dispatched : int;
+  mutable tasks_completed : int;
+  mutable tasks_retried : int;
+  mutable tasks_failed : int;
+  mutable tasks_inline : int;
+  mutable workers_spawned : int;
+  mutable workers_lost : int;
+  mutable workers_respawned : int;
+  mutable respawns_suppressed : int;
+  mutable deadline_expiries : int;
+  mutable heartbeat_expiries : int;
+  mutable corrupt_frames : int;
+  mutable heartbeats : int;
+  mutable frames_sent : int;
+  mutable frames_received : int;
+  mutable bytes_framed : int;
+}
+
+let create ~mode ~workers =
+  {
+    mode;
+    workers;
+    tasks_dispatched = 0;
+    tasks_completed = 0;
+    tasks_retried = 0;
+    tasks_failed = 0;
+    tasks_inline = 0;
+    workers_spawned = 0;
+    workers_lost = 0;
+    workers_respawned = 0;
+    respawns_suppressed = 0;
+    deadline_expiries = 0;
+    heartbeat_expiries = 0;
+    corrupt_frames = 0;
+    heartbeats = 0;
+    frames_sent = 0;
+    frames_received = 0;
+    bytes_framed = 0;
+  }
+
+let fields t =
+  [
+    ("tasks_dispatched", t.tasks_dispatched);
+    ("tasks_completed", t.tasks_completed);
+    ("tasks_retried", t.tasks_retried);
+    ("tasks_failed", t.tasks_failed);
+    ("tasks_inline", t.tasks_inline);
+    ("workers_spawned", t.workers_spawned);
+    ("workers_lost", t.workers_lost);
+    ("workers_respawned", t.workers_respawned);
+    ("respawns_suppressed", t.respawns_suppressed);
+    ("deadline_expiries", t.deadline_expiries);
+    ("heartbeat_expiries", t.heartbeat_expiries);
+    ("corrupt_frames", t.corrupt_frames);
+    ("heartbeats", t.heartbeats);
+    ("frames_sent", t.frames_sent);
+    ("frames_received", t.frames_received);
+    ("bytes_framed", t.bytes_framed);
+  ]
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>executor: %s, %d worker(s)" t.mode t.workers;
+  List.iter
+    (fun (name, v) -> if v <> 0 then Format.fprintf ppf "@ %-20s %d" name v)
+    (fields t);
+  Format.fprintf ppf "@]"

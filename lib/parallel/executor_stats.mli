@@ -1,0 +1,34 @@
+(** Observability counters for a task executor run.
+
+    The remote executor fills every field from its supervision loop;
+    the in-process executors only count dispatch/completion/failure.
+    Counters are cumulative over the executor's lifetime, so a surface
+    that runs several sweeps on one executor reads totals. *)
+
+type t = {
+  mode : string;  (** ["inline"], ["domains"] or ["remote"] *)
+  workers : int;  (** configured process-worker count (0 in-process) *)
+  mutable tasks_dispatched : int;
+  mutable tasks_completed : int;
+  mutable tasks_retried : int;  (** re-dispatched after a worker loss *)
+  mutable tasks_failed : int;  (** the task itself raised — never retried *)
+  mutable tasks_inline : int;  (** relocated to the supervisor (retry cap / no workers) *)
+  mutable workers_spawned : int;
+  mutable workers_lost : int;  (** EOF, corrupt frame, deadline or heartbeat expiry *)
+  mutable workers_respawned : int;
+  mutable respawns_suppressed : int;  (** crash-loop breaker trips *)
+  mutable deadline_expiries : int;
+  mutable heartbeat_expiries : int;
+  mutable corrupt_frames : int;  (** checksum mismatch or truncated frame *)
+  mutable heartbeats : int;
+  mutable frames_sent : int;
+  mutable frames_received : int;
+  mutable bytes_framed : int;  (** wire bytes, both directions, headers included *)
+}
+
+val create : mode:string -> workers:int -> t
+val fields : t -> (string * int) list
+(** The counters in declaration order, for JSON rendering by callers. *)
+
+val pp : Format.formatter -> t -> unit
+(** Mode, worker count, and every nonzero counter. *)

@@ -1,0 +1,158 @@
+(* Length-prefixed, checksummed frames over raw file descriptors — the
+   wire format between the remote-executor supervisor and its worker
+   processes. The format is transport-agnostic (today both ends of a
+   stdio pipe, later a socket):
+
+     offset  size  field
+     0       4     magic "CVRF"
+     4       1     protocol version (1)
+     5       1     frame kind (one byte, protocol-defined)
+     6       4     payload length, little-endian
+     10      4     FNV-1a checksum of the payload, little-endian
+     14      n     payload
+
+   Reads distinguish a clean [Eof] (zero bytes at a frame boundary)
+   from [Corrupt] (bad magic, unknown version, oversized length,
+   truncated header/payload, checksum mismatch): the supervisor treats
+   the first as a worker exit and the second as a compromised stream —
+   in both cases the worker is lost, but the stats differ.
+
+   All I/O is unbuffered [Unix.read]/[Unix.write] loops, so the
+   supervisor can [Unix.select] on the descriptors without fighting a
+   channel's readahead buffer. *)
+
+let magic = "CVRF"
+let version = 1
+let header_size = 14
+
+(* Frames carry marshaled task descriptions and rows — small — so a
+   length beyond this is stream corruption, not a real payload. *)
+let max_payload = 1 lsl 28
+
+type error = Eof | Corrupt of string
+
+let error_to_string = function
+  | Eof -> "eof"
+  | Corrupt msg -> Printf.sprintf "corrupt frame: %s" msg
+
+(* FNV-1a, 32-bit. Cheap, stateless, and plenty to catch the truncated
+   or bit-flipped frames the chaos plans inject. *)
+let checksum s =
+  let h = ref 0x811c9dc5 in
+  String.iter (fun c -> h := (!h lxor Char.code c) * 0x01000193 land 0xffffffff) s;
+  !h
+
+let set_le32 b off v =
+  Bytes.set b off (Char.chr (v land 0xff));
+  Bytes.set b (off + 1) (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set b (off + 2) (Char.chr ((v lsr 16) land 0xff));
+  Bytes.set b (off + 3) (Char.chr ((v lsr 24) land 0xff))
+
+let get_le32 b off =
+  Char.code (Bytes.get b off)
+  lor (Char.code (Bytes.get b (off + 1)) lsl 8)
+  lor (Char.code (Bytes.get b (off + 2)) lsl 16)
+  lor (Char.code (Bytes.get b (off + 3)) lsl 24)
+
+let encode ~kind payload =
+  let len = String.length payload in
+  if len > max_payload then invalid_arg "Parallel.Frame.encode: payload too large";
+  let b = Bytes.create (header_size + len) in
+  Bytes.blit_string magic 0 b 0 4;
+  Bytes.set b 4 (Char.chr version);
+  Bytes.set b 5 kind;
+  set_le32 b 6 len;
+  set_le32 b 10 (checksum payload);
+  Bytes.blit_string payload 0 b header_size len;
+  b
+
+let rec write_all fd b off len =
+  if len > 0 then begin
+    let n = try Unix.write fd b off len with Unix.Unix_error (Unix.EINTR, _, _) -> 0 in
+    write_all fd b (off + n) (len - n)
+  end
+
+let write_bytes fd b =
+  write_all fd b 0 (Bytes.length b);
+  Bytes.length b
+
+let write fd ~kind payload = write_bytes fd (encode ~kind payload)
+
+(* [read_exact fd buf off len] fills [buf.[off..off+len)] or reports how
+   many bytes arrived before EOF. *)
+let read_exact fd buf off len =
+  let got = ref 0 in
+  let eof = ref false in
+  while !got < len && not !eof do
+    match Unix.read fd buf (off + !got) (len - !got) with
+    | 0 -> eof := true
+    | n -> got := !got + n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  !got
+
+(* Workers are self-exec'd copies of arbitrary binaries, and a linked
+   library may print to stdout at module init — BEFORE the worker loop
+   can redirect the descriptor (the qcheck runner's seed banner does
+   exactly this in the test binary). Those stray bytes land ahead of the
+   first frame, so a read positioned between frames scans forward to the
+   next magic instead of declaring the stream corrupt. Anything past
+   [max_sync_skip] without a magic — or inside a frame (bad checksum,
+   truncation) — is still [Corrupt]: resync only forgives inter-frame
+   noise, not damage to a frame itself. *)
+let max_sync_skip = 1 lsl 20
+
+(* Returns [Ok ()] with [buf.[0..3]] = magic, having skipped any stray
+   leading bytes. [Error Eof] only when the stream ends cleanly with no
+   bytes skipped. *)
+let sync_to_magic fd buf =
+  match read_exact fd buf 0 4 with
+  | 0 -> Error Eof
+  | n when n < 4 -> Error (Corrupt (Printf.sprintf "truncated header (%d bytes)" n))
+  | _ ->
+      let skipped = ref 0 in
+      let one = Bytes.create 1 in
+      let rec scan () =
+        if Bytes.sub_string buf 0 4 = magic then Ok ()
+        else if !skipped > max_sync_skip then Error (Corrupt "no frame magic in stream")
+        else
+          match read_exact fd one 0 1 with
+          | 0 ->
+              Error
+                (Corrupt (Printf.sprintf "stream ended %d bytes past last frame" (!skipped + 4)))
+          | _ ->
+              incr skipped;
+              Bytes.blit buf 1 buf 0 3;
+              Bytes.set buf 3 (Bytes.get one 0);
+              scan ()
+      in
+      scan ()
+
+let read fd =
+  let header = Bytes.create header_size in
+  match sync_to_magic fd header with
+  | Error e -> Error e
+  | Ok () ->
+      (match read_exact fd header 4 (header_size - 4) with
+      | n when n < header_size - 4 ->
+          Error (Corrupt (Printf.sprintf "truncated header (%d bytes)" (4 + n)))
+      | _ ->
+      if Char.code (Bytes.get header 4) <> version then
+        Error
+          (Corrupt (Printf.sprintf "version %d (speaking %d)" (Char.code (Bytes.get header 4)) version))
+      else begin
+        let len = get_le32 header 6 in
+        let expected = get_le32 header 10 in
+        if len < 0 || len > max_payload then
+          Error (Corrupt (Printf.sprintf "implausible length %d" len))
+        else begin
+          let payload = Bytes.create len in
+          let got = read_exact fd payload 0 len in
+          if got < len then
+            Error (Corrupt (Printf.sprintf "truncated payload (%d of %d bytes)" got len))
+          else
+            let payload = Bytes.unsafe_to_string payload in
+            if checksum payload <> expected then Error (Corrupt "checksum mismatch")
+            else Ok (Bytes.get header 5, payload)
+        end
+      end)

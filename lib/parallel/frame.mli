@@ -1,0 +1,40 @@
+(** Length-prefixed, checksummed, versioned frames over raw file
+    descriptors — the wire format between the remote executor's
+    supervisor and its worker processes (stdio pipes today, reusable
+    over a socket). See docs/PARALLEL.md for the layout. *)
+
+val version : int
+(** Wire protocol version, byte 4 of every frame. A reader rejects any
+    other version as [Corrupt] — the executor respawns rather than
+    guesses. *)
+
+val header_size : int
+
+type error =
+  | Eof  (** zero bytes at a frame boundary: the peer exited cleanly *)
+  | Corrupt of string
+      (** unknown version, implausible length, truncated header/payload,
+          checksum mismatch, or a megabyte of stream with no frame
+          magic: the stream can no longer be trusted *)
+
+val error_to_string : error -> string
+
+val checksum : string -> int
+(** FNV-1a (32-bit) of the payload. *)
+
+val encode : kind:char -> string -> Bytes.t
+(** A complete frame as bytes — exposed so chaos plans can corrupt or
+    truncate it before writing. *)
+
+val write_bytes : Unix.file_descr -> Bytes.t -> int
+(** Write fully (EINTR-safe); returns the byte count. *)
+
+val write : Unix.file_descr -> kind:char -> string -> int
+(** [encode] + [write_bytes]. *)
+
+val read : Unix.file_descr -> (char * string, error) result
+(** Read exactly one frame. Unbuffered, so callers may [Unix.select]
+    on the descriptor between frames. Stray bytes {e between} frames are
+    skipped by scanning to the next magic — a self-exec'd worker binary
+    may print at module init before the worker loop takes over its
+    descriptors — but damage {e inside} a frame is still [Corrupt]. *)

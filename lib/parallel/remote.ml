@@ -1,0 +1,525 @@
+(* A fault-tolerant remote executor: pool tasks running in separate
+   worker *processes*, supervised over framed stdio pipes.
+
+   The supervisor spawns [workers] copies of the *current binary* with
+   [CVM_REMOTE_WORKER=1] in the environment; every binary that wants to
+   serve as its own worker calls [maybe_worker ~run] first thing in
+   [main], before printing or parsing anything. The same-binary rule is
+   what makes [Marshal] safe on both task and result payloads, and the
+   framed protocol (Frame) is transport-agnostic, so the spawn step is
+   the only piece to replace for socket-connected workers on other
+   hosts.
+
+   Supervision model (single-threaded select loop, one task in flight
+   per worker, results harvested into a submission-indexed array):
+
+   - a worker answers each task frame with a result or task-error
+     frame, and a background thread heartbeats every
+     [heartbeat_period_s];
+   - failure detection: EOF on the pipe (worker exited), corrupt or
+     truncated frame (stream no longer trustworthy — worker killed),
+     task deadline expiry (hung worker, heartbeats or not), heartbeat
+     grace expiry (silent worker);
+   - degradation ladder: a task lost with its worker is *retried* on
+     another worker after an exponential backoff, up to
+     [max_task_retries]; past the cap it runs *inline* on the
+     supervisor, so no awaiter is ever stranded. A lost worker slot is
+     *respawned* (fresh generation) after its own exponential backoff,
+     up to [max_respawns] per slot; past the cap the slot is *broken*
+     (crash-loop breaker) and the executor narrows. If every slot
+     breaks, all remaining tasks run inline.
+   - a task that *itself* raises (task-error frame) is never retried:
+     tasks are deterministic, so it would fail identically — matching
+     the in-process pool's failure-isolation semantics.
+
+   Determinism: tasks are dispatched in submission order, results are
+   keyed by submission index, and a retried task re-runs the same pure
+   description, so harvested results are byte-identical to a [--jobs 1]
+   run no matter which workers died when — that is the property the
+   chaos suite (Chaos, test/suite_remote.ml) proves. *)
+
+type config = {
+  workers : int;
+  task_deadline_s : float;
+  heartbeat_period_s : float;
+  heartbeat_grace_s : float;
+  max_task_retries : int;
+  max_respawns : int;
+  retry_backoff_s : float;  (* initial; doubles per retry *)
+  respawn_backoff_s : float;  (* initial; doubles per generation *)
+  respawn_backoff_max_s : float;
+  chaos : Chaos.plan;
+}
+
+let default_config ~workers =
+  {
+    workers = max 1 workers;
+    task_deadline_s = 600.0;
+    heartbeat_period_s = 0.25;
+    heartbeat_grace_s = 2.0;
+    max_task_retries = 3;
+    max_respawns = 3;
+    retry_backoff_s = 0.02;
+    respawn_backoff_s = 0.05;
+    respawn_backoff_max_s = 1.0;
+    chaos = Chaos.none;
+  }
+
+(* Frame kinds. Supervisor -> worker: 'T' task, 'Q' quit.
+   Worker -> supervisor: 'R' result, 'E' task error, 'H' heartbeat. *)
+
+let env_worker = "CVM_REMOTE_WORKER"
+let env_slot = "CVM_REMOTE_SLOT"
+let env_gen = "CVM_REMOTE_GEN"
+let env_chaos = "CVM_REMOTE_CHAOS"
+let env_hb = "CVM_REMOTE_HB"
+
+(* ------------------------------------------------------------------ *)
+(* Worker side *)
+
+let worker_main ~run () =
+  (* Keep the result pipe private and point stdout at stderr, so a
+     stray [print_string] in task code cannot corrupt the protocol. *)
+  let out = Unix.dup Unix.stdout in
+  Unix.dup2 Unix.stderr Unix.stdout;
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let getenv_int name default =
+    match Sys.getenv_opt name with
+    | Some v -> ( match int_of_string_opt v with Some n -> n | None -> default)
+    | None -> default
+  in
+  let slot = getenv_int env_slot 0 in
+  let gen = getenv_int env_gen 0 in
+  let hb_period =
+    match Option.bind (Sys.getenv_opt env_hb) float_of_string_opt with
+    | Some f when f > 0.0 -> f
+    | _ -> 0.25
+  in
+  let plan =
+    match Sys.getenv_opt env_chaos with
+    | None | Some "" -> Chaos.none
+    | Some spec -> ( match Chaos.parse spec with Ok p -> p | Error _ -> Chaos.none)
+  in
+  if Chaos.spawn_crashes plan ~slot ~gen then exit 3;
+  let wlock = Mutex.create () in
+  let muted = Atomic.make false in
+  let send_frame b =
+    Mutex.lock wlock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock wlock)
+      (fun () -> ignore (Frame.write_bytes out b))
+  in
+  (* Immediate hello heartbeat: linked libraries may have printed to
+     stdout at module init (before this function could redirect it), and
+     the supervisor resyncs past that junk by scanning to the next frame
+     magic — which must therefore arrive promptly even if the first task
+     hangs or mutes this worker, or the scan would block the supervisor
+     on a silent pipe. *)
+  send_frame (Frame.encode ~kind:'H' "");
+  (* Heartbeats from a plain thread: tasks are compute-bound OCaml, but
+     the runtime preempts threads between allocations, which is plenty
+     at a 250ms cadence. A failed write means the supervisor is gone. *)
+  ignore
+    (Thread.create
+       (fun () ->
+         let rec beat () =
+           Thread.delay hb_period;
+           if not (Atomic.get muted) then begin
+             match send_frame (Frame.encode ~kind:'H' "") with
+             | () -> ()
+             | exception _ -> exit 0
+           end;
+           beat ()
+         in
+         beat ())
+       ());
+  let nth = ref 0 in
+  let rec serve () =
+    (match Frame.read Unix.stdin with
+    | Error Frame.Eof -> exit 0
+    | Error (Frame.Corrupt _) -> exit 5
+    | Ok ('Q', _) -> exit 0
+    | Ok ('T', payload) ->
+        let id, task_bytes =
+          try (Marshal.from_string payload 0 : int * string) with _ -> exit 5
+        in
+        let task = try Task.decode task_bytes with Task.Corrupt _ -> exit 5 in
+        incr nth;
+        let reply () =
+          match run task with
+          | bytes -> Frame.encode ~kind:'R' (Marshal.to_string (id, bytes) [])
+          | exception e ->
+              Frame.encode ~kind:'E' (Marshal.to_string (id, Printexc.to_string e) [])
+        in
+        (match Chaos.decide plan ~slot ~gen ~nth:!nth ~label:(Task.label task) with
+        | Chaos.Run -> send_frame (reply ())
+        | Chaos.Die -> exit 4
+        | Chaos.Hang { mute } ->
+            if mute then Atomic.set muted true;
+            while true do
+              Thread.delay 3600.0
+            done
+        | Chaos.Corrupt_result ->
+            let frame = reply () in
+            let pos = Frame.header_size + ((Bytes.length frame - Frame.header_size) / 2) in
+            Bytes.set frame pos (Char.chr (Char.code (Bytes.get frame pos) lxor 0xff));
+            send_frame frame
+        | Chaos.Truncate_result ->
+            let frame = reply () in
+            let half = max 1 (Bytes.length frame / 2) in
+            send_frame (Bytes.sub frame 0 half);
+            exit 6)
+    | Ok (_, _) -> exit 5);
+    serve ()
+  in
+  serve ()
+
+let maybe_worker ~run () =
+  match Sys.getenv_opt env_worker with
+  | Some "1" -> worker_main ~run ()
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Supervisor side *)
+
+type proc = {
+  pid : int;
+  to_worker : Unix.file_descr;
+  from_worker : Unix.file_descr;
+  mutable last_heartbeat : float;
+}
+
+type pending = {
+  p_ix : int;  (* submission index — where the result lands *)
+  p_task : Task.t;
+  mutable p_tries : int;  (* dispatch attempts lost with their worker *)
+  mutable p_not_before : float;  (* retry backoff gate *)
+}
+
+type slot_state =
+  | Idle of proc
+  | Busy of { proc : proc; task : pending; started : float }
+  | Down of { not_before : float }  (* waiting out the respawn backoff *)
+  | Broken  (* crash-loop breaker tripped: never respawned again *)
+
+type t = {
+  cfg : config;
+  run : Task.t -> string;  (* the interpreter, for inline fallback *)
+  stats : Executor_stats.t;
+  slots : slot_state array;
+  gens : int array;  (* current spawn generation per slot, -1 = never *)
+  mutable stopped : bool;
+}
+
+let self_exe () =
+  let exe = Sys.executable_name in
+  if Filename.is_relative exe then (try Unix.readlink "/proc/self/exe" with _ -> exe)
+  else exe
+
+let create ~config ~run () =
+  if config.workers < 1 then invalid_arg "Parallel.Remote.create: workers must be >= 1";
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  {
+    cfg = config;
+    run;
+    stats = Executor_stats.create ~mode:"remote" ~workers:config.workers;
+    slots = Array.make config.workers (Down { not_before = 0.0 });
+    gens = Array.make config.workers (-1);
+    stopped = false;
+  }
+
+let stats t = t.stats
+
+let spawn_slot t i =
+  t.gens.(i) <- t.gens.(i) + 1;
+  let gen = t.gens.(i) in
+  let task_r, task_w = Unix.pipe () in
+  let res_r, res_w = Unix.pipe () in
+  Unix.set_close_on_exec task_w;
+  Unix.set_close_on_exec res_r;
+  let env =
+    (Unix.environment () |> Array.to_list
+    |> List.filter (fun s -> not (String.starts_with ~prefix:"CVM_REMOTE_" s)))
+    @ [
+        env_worker ^ "=1";
+        Printf.sprintf "%s=%d" env_slot i;
+        Printf.sprintf "%s=%d" env_gen gen;
+        Printf.sprintf "%s=%g" env_hb t.cfg.heartbeat_period_s;
+        Printf.sprintf "%s=%s" env_chaos (Chaos.to_spec t.cfg.chaos);
+      ]
+  in
+  let exe = self_exe () in
+  let pid = Unix.create_process_env exe [| exe |] (Array.of_list env) task_r res_w Unix.stderr in
+  Unix.close task_r;
+  Unix.close res_w;
+  t.stats.Executor_stats.workers_spawned <- t.stats.Executor_stats.workers_spawned + 1;
+  if gen > 0 then
+    t.stats.Executor_stats.workers_respawned <- t.stats.Executor_stats.workers_respawned + 1;
+  t.slots.(i) <-
+    Idle { pid; to_worker = task_w; from_worker = res_r; last_heartbeat = Unix.gettimeofday () }
+
+let reap proc =
+  (try Unix.close proc.to_worker with _ -> ());
+  (try Unix.close proc.from_worker with _ -> ());
+  (try Unix.kill proc.pid Sys.sigkill with _ -> ());
+  try ignore (Unix.waitpid [] proc.pid) with _ -> ()
+
+let respawn_backoff t i =
+  min t.cfg.respawn_backoff_max_s
+    (t.cfg.respawn_backoff_s *. (2.0 ** float_of_int (max 0 t.gens.(i))))
+
+(* Run the whole task list; results in submission order. Per-call state
+   (the result array and retry queue) is local; worker processes and
+   stats persist on [t] across calls. *)
+let run_tasks t tasks =
+  if t.stopped then invalid_arg "Parallel.Remote: run after shutdown";
+  let st = t.stats in
+  let bump_sent n =
+    st.Executor_stats.frames_sent <- st.Executor_stats.frames_sent + 1;
+    st.Executor_stats.bytes_framed <- st.Executor_stats.bytes_framed + n
+  in
+  let bump_received payload_len =
+    st.Executor_stats.frames_received <- st.Executor_stats.frames_received + 1;
+    st.Executor_stats.bytes_framed <-
+      st.Executor_stats.bytes_framed + Frame.header_size + payload_len
+  in
+  let n = List.length tasks in
+  let results : (string, Pool.failure) result option array = Array.make n None in
+  let fill ix r = if results.(ix) = None then results.(ix) <- Some r in
+  let run_inline p =
+    st.Executor_stats.tasks_inline <- st.Executor_stats.tasks_inline + 1;
+    let r =
+      match t.run p.p_task with
+      | bytes ->
+          st.Executor_stats.tasks_completed <- st.Executor_stats.tasks_completed + 1;
+          Ok bytes
+      | exception e ->
+          st.Executor_stats.tasks_failed <- st.Executor_stats.tasks_failed + 1;
+          Error { Pool.f_exn = e; f_backtrace = Printexc.get_backtrace () }
+    in
+    fill p.p_ix r
+  in
+  let waiting =
+    ref (List.mapi (fun i task -> { p_ix = i; p_task = task; p_tries = 0; p_not_before = 0.0 }) tasks)
+  in
+  let take_ready now =
+    match List.find_opt (fun p -> p.p_not_before <= now) !waiting with
+    | None -> None
+    | Some p ->
+        waiting := List.filter (fun q -> q != p) !waiting;
+        Some p
+  in
+  (* A task lost with its worker: retry with backoff, or past the cap
+     run it inline right here — the awaiter is never stranded. *)
+  let requeue now p =
+    p.p_tries <- p.p_tries + 1;
+    if p.p_tries > t.cfg.max_task_retries then run_inline p
+    else begin
+      st.Executor_stats.tasks_retried <- st.Executor_stats.tasks_retried + 1;
+      p.p_not_before <-
+        now +. (t.cfg.retry_backoff_s *. (2.0 ** float_of_int (p.p_tries - 1)));
+      waiting := !waiting @ [ p ]
+    end
+  in
+  let lose now i =
+    match t.slots.(i) with
+    | Down _ | Broken -> ()
+    | (Idle proc | Busy { proc; _ }) as old ->
+        reap proc;
+        st.Executor_stats.workers_lost <- st.Executor_stats.workers_lost + 1;
+        (match old with Busy { task; _ } -> requeue now task | _ -> ());
+        if t.gens.(i) + 1 > t.cfg.max_respawns then begin
+          st.Executor_stats.respawns_suppressed <-
+            st.Executor_stats.respawns_suppressed + 1;
+          t.slots.(i) <- Broken
+        end
+        else t.slots.(i) <- Down { not_before = now +. respawn_backoff t i }
+  in
+  let done_ () = Array.for_all (fun r -> r <> None) results in
+  while not (done_ ()) do
+    let now = Unix.gettimeofday () in
+    (* 1. respawn slots whose backoff elapsed *)
+    Array.iteri
+      (fun i s ->
+        match s with
+        | Down { not_before } when not_before <= now -> spawn_slot t i
+        | _ -> ())
+      t.slots;
+    (* 2. all slots broken: nothing will ever answer — drain inline *)
+    if Array.for_all (function Broken -> true | _ -> false) t.slots then begin
+      let rest = !waiting in
+      waiting := [];
+      List.iter run_inline rest
+    end
+    else begin
+      (* 3. dispatch to idle workers, one task in flight per worker *)
+      Array.iteri
+        (fun i s ->
+          match s with
+          | Idle proc -> (
+              match take_ready now with
+              | None -> ()
+              | Some p -> (
+                  let payload = Marshal.to_string (p.p_ix, Task.encode p.p_task) [] in
+                  match Frame.write proc.to_worker ~kind:'T' payload with
+                  | sent ->
+                      bump_sent sent;
+                      st.Executor_stats.tasks_dispatched <-
+                        st.Executor_stats.tasks_dispatched + 1;
+                      t.slots.(i) <- Busy { proc; task = p; started = now }
+                  | exception _ ->
+                      (* died before dispatch: not the task's fault *)
+                      waiting := p :: !waiting;
+                      lose now i))
+          | _ -> ())
+        t.slots;
+      (* 4. wait for traffic, bounded by the nearest deadline/backoff *)
+      let horizon = ref 0.5 in
+      let consider at = if at > now then horizon := min !horizon (at -. now) in
+      Array.iter
+        (function
+          | Busy { started; proc; _ } ->
+              consider (started +. t.cfg.task_deadline_s);
+              consider (proc.last_heartbeat +. t.cfg.heartbeat_grace_s)
+          | Idle proc -> consider (proc.last_heartbeat +. t.cfg.heartbeat_grace_s)
+          | Down { not_before } -> consider not_before
+          | Broken -> ())
+        t.slots;
+      List.iter (fun p -> consider p.p_not_before) !waiting;
+      let fds =
+        Array.to_list t.slots
+        |> List.filter_map (function
+             | Idle proc | Busy { proc; _ } -> Some proc.from_worker
+             | _ -> None)
+      in
+      let ready =
+        if fds = [] then []
+        else
+          match Unix.select fds [] [] (max 0.01 !horizon) with
+          | r, _, _ -> r
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+      in
+      (* 5. drain one frame per ready descriptor *)
+      List.iter
+        (fun fd ->
+          let slot_of_fd =
+            Array.to_list t.slots
+            |> List.mapi (fun i s -> (i, s))
+            |> List.find_opt (fun (_, s) ->
+                   match s with
+                   | Idle proc | Busy { proc; _ } -> proc.from_worker = fd
+                   | _ -> false)
+          in
+          match slot_of_fd with
+          | None -> ()  (* slot already transitioned this round *)
+          | Some (i, s) -> (
+              let proc = match s with Idle p | Busy { proc = p; _ } -> p | _ -> assert false in
+              let now = Unix.gettimeofday () in
+              match Frame.read fd with
+              | Ok ('H', payload) ->
+                  bump_received (String.length payload);
+                  st.Executor_stats.heartbeats <- st.Executor_stats.heartbeats + 1;
+                  proc.last_heartbeat <- now
+              | Ok ('R', payload) -> (
+                  bump_received (String.length payload);
+                  proc.last_heartbeat <- now;
+                  match (Marshal.from_string payload 0 : int * string) with
+                  | ix, bytes ->
+                      st.Executor_stats.tasks_completed <-
+                        st.Executor_stats.tasks_completed + 1;
+                      fill ix (Ok bytes);
+                      t.slots.(i) <- Idle proc
+                  | exception _ ->
+                      st.Executor_stats.corrupt_frames <-
+                        st.Executor_stats.corrupt_frames + 1;
+                      lose now i)
+              | Ok ('E', payload) -> (
+                  bump_received (String.length payload);
+                  proc.last_heartbeat <- now;
+                  match (Marshal.from_string payload 0 : int * string) with
+                  | ix, msg ->
+                      (* the task itself raised: deterministic, so a
+                         retry would fail identically — report it *)
+                      st.Executor_stats.tasks_failed <-
+                        st.Executor_stats.tasks_failed + 1;
+                      fill ix (Error { Pool.f_exn = Pool.Task_failed msg; f_backtrace = "" });
+                      t.slots.(i) <- Idle proc
+                  | exception _ ->
+                      st.Executor_stats.corrupt_frames <-
+                        st.Executor_stats.corrupt_frames + 1;
+                      lose now i)
+              | Ok (_, _) ->
+                  st.Executor_stats.corrupt_frames <- st.Executor_stats.corrupt_frames + 1;
+                  lose now i
+              | Error Frame.Eof -> lose now i
+              | Error (Frame.Corrupt _) ->
+                  st.Executor_stats.corrupt_frames <- st.Executor_stats.corrupt_frames + 1;
+                  lose now i))
+        ready;
+      (* 6. deadlines and heartbeat grace *)
+      let now = Unix.gettimeofday () in
+      Array.iteri
+        (fun i s ->
+          match s with
+          | Busy { started; _ } when now -. started > t.cfg.task_deadline_s ->
+              st.Executor_stats.deadline_expiries <-
+                st.Executor_stats.deadline_expiries + 1;
+              lose now i
+          | (Idle proc | Busy { proc; _ })
+            when now -. proc.last_heartbeat > t.cfg.heartbeat_grace_s ->
+              st.Executor_stats.heartbeat_expiries <-
+                st.Executor_stats.heartbeat_expiries + 1;
+              lose now i
+          | _ -> ())
+        t.slots
+    end
+  done;
+  Array.to_list results
+  |> List.map (function Some r -> r | None -> assert false)
+
+let shutdown t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    let live =
+      Array.to_list t.slots
+      |> List.filter_map (function Idle proc | Busy { proc; _ } -> Some proc | _ -> None)
+    in
+    (* polite quit first; anything that ignores it (hung tasks) is
+       killed by [reap] below *)
+    List.iter
+      (fun proc -> try ignore (Frame.write proc.to_worker ~kind:'Q' "") with _ -> ())
+      live;
+    let deadline = Unix.gettimeofday () +. 0.5 in
+    let rec settle procs =
+      if procs <> [] && Unix.gettimeofday () < deadline then begin
+        let still =
+          List.filter
+            (fun proc ->
+              match Unix.waitpid [ Unix.WNOHANG ] proc.pid with
+              | 0, _ -> true
+              | _ -> (try Unix.close proc.to_worker with _ -> ());
+                     (try Unix.close proc.from_worker with _ -> ());
+                     false
+              | exception _ -> false)
+            procs
+        in
+        if still <> [] then Unix.sleepf 0.02;
+        settle still
+      end
+      else List.iter reap procs
+    in
+    settle live;
+    Array.iteri (fun i _ -> t.slots.(i) <- Broken) t.slots
+  end
+
+let executor t =
+  {
+    Pool.ex_mode = "remote";
+    ex_parallelism = t.cfg.workers;
+    ex_run = (fun tasks -> run_tasks t tasks);
+    ex_stats = (fun () -> t.stats);
+  }
+
+let with_executor ~config ~run f =
+  let t = create ~config ~run () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f (executor t))

@@ -1,0 +1,69 @@
+(** Fault-tolerant remote executor: pool tasks in separate worker
+    {e processes}, supervised over framed stdio pipes ({!Frame}), with
+    heartbeats, per-task deadlines, retry-on-worker-loss and a
+    crash-loop breaker. See docs/PARALLEL.md for the wire protocol, the
+    failure-model table and the degradation ladder.
+
+    Workers are spawned copies of the current binary: every binary that
+    offers [--workers] calls {!maybe_worker} first thing in [main]
+    (before any output or argument parsing), which hijacks the process
+    into the worker loop when [CVM_REMOTE_WORKER=1] is set and is a
+    no-op otherwise. Same binary on both ends is what makes [Marshal]
+    safe for payloads; the framed protocol itself is transport-agnostic
+    so only the spawn step needs replacing for socket workers.
+
+    Determinism guarantee (proved by test/suite_remote.ml and the
+    [make check] chaos smoke): results are harvested in submission
+    order and a retried task re-runs the same pure description, so an
+    [ex_run] under any {!Chaos} plan — workers killed mid-task, hung
+    past the deadline, streams corrupted — returns results
+    byte-identical to a sequential run. *)
+
+type config = {
+  workers : int;
+  task_deadline_s : float;  (** per-task wall clock; expiry loses the worker *)
+  heartbeat_period_s : float;
+  heartbeat_grace_s : float;  (** silence longer than this loses the worker *)
+  max_task_retries : int;  (** then the task runs inline on the supervisor *)
+  max_respawns : int;  (** per slot; then the crash-loop breaker trips *)
+  retry_backoff_s : float;  (** initial task-retry backoff; doubles per try *)
+  respawn_backoff_s : float;  (** initial respawn backoff; doubles per gen *)
+  respawn_backoff_max_s : float;
+  chaos : Chaos.plan;  (** shipped to workers via [CVM_REMOTE_CHAOS] *)
+}
+
+val default_config : workers:int -> config
+(** 600s deadline, 0.25s heartbeats with 2s grace, 3 retries,
+    3 respawns per slot, no chaos. *)
+
+type t
+
+val create : config:config -> run:(Task.t -> string) -> unit -> t
+(** [run] is the task interpreter — the same one handed to
+    {!maybe_worker} — used by the supervisor for the inline fallback.
+    Workers spawn lazily on first use and persist across [ex_run]
+    calls until {!shutdown}. *)
+
+val executor : t -> Pool.executor
+(** Mode ["remote"]. [ex_run] results arrive in submission order; a
+    task that raised in a worker reports [Pool.Task_failed] carrying
+    the rendered exception. *)
+
+val stats : t -> Executor_stats.t
+val shutdown : t -> unit
+(** Quit frames, a short grace for clean exits, then SIGKILL for the
+    rest. Idempotent. *)
+
+val with_executor :
+  config:config -> run:(Task.t -> string) -> (Pool.executor -> 'a) -> 'a
+(** [create], apply, [shutdown] (also on exception). *)
+
+val worker_main : run:(Task.t -> string) -> unit -> 'a
+(** The worker loop: serve task frames from stdin, reply on stdout,
+    heartbeat from a background thread, obey the chaos plan from the
+    environment. Never returns. *)
+
+val maybe_worker : run:(Task.t -> string) -> unit -> unit
+(** Call first thing in [main]. Enters {!worker_main} (never
+    returning) when [CVM_REMOTE_WORKER=1] is in the environment; no-op
+    otherwise. *)

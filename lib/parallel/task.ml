@@ -1,0 +1,65 @@
+(* Self-contained task descriptions — the unit of work an executor may
+   hand to another process. Every constructor carries only basic data
+   (names, counts, flags), never closures or simulation objects, so a
+   task can be marshaled to a worker that rebuilds everything itself;
+   this is the same "build everything inside the task" contract the
+   in-process pool already imposed (docs/PARALLEL.md), made explicit as
+   a datatype.
+
+   The vocabulary covers the existing row-builders (tables, figures,
+   protocol/fault/ablation sweeps, bench sweep points, equivalence
+   combos) plus a [Probe] used by the executor's own test suite. The
+   interpreter that turns a task into a result lives above this library
+   (Core.Tasks, plus per-binary extensions such as the equivalence
+   combos); this module is pure vocabulary and codec.
+
+   Encoded tasks embed [codec_version]: a worker from a different
+   protocol era refuses the task rather than misinterpreting it. *)
+
+type t =
+  | Probe of { reply : string; spin_ms : int; sleep_ms : int }
+  | Table1_row of { scale : string; nprocs : int; app : string }
+  | Table2_row of { scale : string; app : string }
+  | Table3_row of { scale : string; nprocs : int; app : string }
+  | Figure3_row of { scale : string; nprocs : int; app : string }
+  | Figure4_point of { scale : string; nprocs : int; app : string }
+  | Figure5 of { protocol : string }
+  | Protocol_row of { scale : string; nprocs : int; app : string; protocol : string }
+  | Fault_app_sweep of { scale : string; nprocs : int; drops : float list; app : string }
+  | Ablation_row of { scale : string; nprocs : int; app : string }
+  | Retention_row of { scale : string; nprocs : int; app : string }
+  | Bench_point of { scale : string; nprocs : int; detect : bool; elide : bool; app : string }
+  | Equiv_combo of { label : string }
+
+let codec_version = 1
+
+exception Corrupt of string
+
+let label = function
+  | Probe { reply; _ } -> Printf.sprintf "probe:%s" reply
+  | Table1_row { app; nprocs; _ } -> Printf.sprintf "table1:%s-p%d" app nprocs
+  | Table2_row { app; _ } -> Printf.sprintf "table2:%s" app
+  | Table3_row { app; nprocs; _ } -> Printf.sprintf "table3:%s-p%d" app nprocs
+  | Figure3_row { app; nprocs; _ } -> Printf.sprintf "figure3:%s-p%d" app nprocs
+  | Figure4_point { app; nprocs; _ } -> Printf.sprintf "figure4:%s-p%d" app nprocs
+  | Figure5 { protocol } -> Printf.sprintf "figure5:%s" protocol
+  | Protocol_row { app; nprocs; protocol; _ } ->
+      Printf.sprintf "protocol:%s-%s-p%d" app protocol nprocs
+  | Fault_app_sweep { app; nprocs; _ } -> Printf.sprintf "faults:%s-p%d" app nprocs
+  | Ablation_row { app; nprocs; _ } -> Printf.sprintf "ablation:%s-p%d" app nprocs
+  | Retention_row { app; nprocs; _ } -> Printf.sprintf "retention:%s-p%d" app nprocs
+  | Bench_point { app; nprocs; detect; elide; _ } ->
+      Printf.sprintf "bench:%s-p%d-%s" app nprocs
+        (if detect && elide then "det+elide" else if detect then "detect" else "no-detect")
+  | Equiv_combo { label } -> Printf.sprintf "equiv:%s" label
+
+let encode t = Marshal.to_string (codec_version, t) []
+
+let decode s =
+  let version, task =
+    try (Marshal.from_string s 0 : int * t)
+    with _ -> raise (Corrupt "undecodable task payload")
+  in
+  if version <> codec_version then
+    raise (Corrupt (Printf.sprintf "task codec version %d (speaking %d)" version codec_version));
+  task

@@ -1,0 +1,34 @@
+(** Self-contained, serializable task descriptions: the vocabulary a
+    remote (or in-process) executor dispatches. Constructors carry only
+    basic data — the worker rebuilds app, cluster and RNGs itself, per
+    the pool's task contract. Interpretation lives above this library
+    ({!Core.Tasks} for the row-builders; binaries linking the
+    equivalence harness extend it for [Equiv_combo]). *)
+
+type t =
+  | Probe of { reply : string; spin_ms : int; sleep_ms : int }
+      (** test vocabulary: optionally burn/sleep, then echo [reply] *)
+  | Table1_row of { scale : string; nprocs : int; app : string }
+  | Table2_row of { scale : string; app : string }
+  | Table3_row of { scale : string; nprocs : int; app : string }
+  | Figure3_row of { scale : string; nprocs : int; app : string }
+  | Figure4_point of { scale : string; nprocs : int; app : string }
+  | Figure5 of { protocol : string }
+  | Protocol_row of { scale : string; nprocs : int; app : string; protocol : string }
+  | Fault_app_sweep of { scale : string; nprocs : int; drops : float list; app : string }
+  | Ablation_row of { scale : string; nprocs : int; app : string }
+  | Retention_row of { scale : string; nprocs : int; app : string }
+  | Bench_point of { scale : string; nprocs : int; detect : bool; elide : bool; app : string }
+  | Equiv_combo of { label : string }
+
+val codec_version : int
+
+exception Corrupt of string
+
+val label : t -> string
+(** Short human-readable identity, used in diagnostics, deadline
+    errors and chaos poison matching. *)
+
+val encode : t -> string
+val decode : string -> t
+(** Raises {!Corrupt} on undecodable bytes or a version mismatch. *)

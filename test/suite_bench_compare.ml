@@ -10,7 +10,7 @@ let contains haystack needle =
   go 0
 
 let entry ?(wall = 1.0) ?(races = 3) ?(checksum = 0xbeef) ?(sim = 5_000) ?(bytes = 4096)
-    ?(nprocs = 8) name =
+    ?(nprocs = 8) ?(extras = []) name =
   {
     Compare_core.key = (name, "small", nprocs, true, false, "single-writer");
     wall_s = wall;
@@ -18,6 +18,7 @@ let entry ?(wall = 1.0) ?(races = 3) ?(checksum = 0xbeef) ?(sim = 5_000) ?(bytes
     races;
     mem_checksum = checksum;
     bytes;
+    extras;
   }
 
 let gate ?threshold_pct ?ignore_wall baseline current =
@@ -80,6 +81,88 @@ let test_nothing_comparable_fails () =
   check Alcotest.int "no shared keys" 0 r.Compare_core.compared;
   check Alcotest.bool "an empty comparison never passes" false (Compare_core.passed r)
 
+let fail_lines r =
+  List.filter
+    (fun l -> String.length l >= 4 && String.sub l 0 4 = "FAIL")
+    r.Compare_core.lines
+
+let test_every_drifted_field_reported () =
+  (* three counters drift plus the race count: one FAIL line each, so a
+     single gate run names the whole divergence *)
+  let baseline =
+    [ entry ~races:3 ~extras:[ ("messages", 100); ("diffs_created", 7); ("barriers", 4) ] "sor" ]
+  in
+  let current =
+    [ entry ~races:4 ~extras:[ ("messages", 120); ("diffs_created", 9); ("barriers", 4) ] "sor" ]
+  in
+  let r = gate ~ignore_wall:true baseline current in
+  check Alcotest.bool "drift fails" false (Compare_core.passed r);
+  check Alcotest.int "one FAIL line per drifted field" 3 (List.length (fail_lines r));
+  List.iter
+    (fun needle ->
+      check Alcotest.bool (needle ^ " named") true
+        (List.exists (fun l -> contains l needle) (fail_lines r)))
+    [ "race count 3 -> 4"; "messages 100 -> 120"; "diffs_created 7 -> 9" ]
+
+let test_extras_compared_only_when_shared () =
+  (* a counter the old baseline never recorded cannot drift; one both
+     runs have still gates *)
+  let baseline = [ entry ~extras:[ ("messages", 100) ] "sor" ] in
+  let current = [ entry ~extras:[ ("messages", 100); ("lock_acquires", 55) ] "sor" ] in
+  check Alcotest.bool "new counter in current only passes" true
+    (Compare_core.passed (gate ~ignore_wall:true baseline current));
+  let current' = [ entry ~extras:[ ("messages", 99); ("lock_acquires", 55) ] "sor" ] in
+  let r = gate ~ignore_wall:true baseline current' in
+  check Alcotest.bool "shared counter still gates" false (Compare_core.passed r);
+  check Alcotest.int "only the shared drift reported" 1 (List.length (fail_lines r))
+
+let test_extras_parsed_from_json () =
+  let json =
+    Bench_json.Obj
+      [
+        ("app", Bench_json.String "sor");
+        ("scale", Bench_json.String "small");
+        ("nprocs", Bench_json.Int 8);
+        ("detect", Bench_json.Bool true);
+        ("protocol", Bench_json.String "single-writer");
+        ("wall_s", Bench_json.Float 1.0);
+        ("sim_time_ns", Bench_json.Int 5000);
+        ("races", Bench_json.Int 3);
+        ("mem_checksum", Bench_json.Int 48879);
+        ("bytes", Bench_json.Int 4096);
+        ("messages", Bench_json.Int 100);
+        ("barriers", Bench_json.Int 4);
+        ("wall_phase", Bench_json.Int 9);
+        (* not a known counter: ignored *)
+      ]
+  in
+  let e = Compare_core.entry_of_json json in
+  check
+    Alcotest.(list (pair string int))
+    "known counters harvested in order"
+    [ ("messages", 100); ("barriers", 4) ]
+    e.Compare_core.extras
+
+let test_load_failures_are_failure () =
+  (* every load failure surfaces as [Failure] with the path prefixed, so
+     compare.exe's one handler turns it into a clean usage-error exit *)
+  let expect_failure path =
+    match Compare_core.load path with
+    | _ -> Alcotest.fail "load of a bad input succeeded"
+    | exception Failure msg ->
+        check Alcotest.bool
+          (Printf.sprintf "message names the input: %s" msg)
+          true
+          (String.length msg > 0 && String.sub msg 0 4 = "/tmp")
+  in
+  expect_failure "/tmp/cvm_compare_missing.json";
+  let malformed = "/tmp/cvm_compare_malformed.json" in
+  let oc = open_out malformed in
+  output_string oc "{\"schema\": \"not-terminated";
+  close_out oc;
+  expect_failure malformed;
+  Sys.remove malformed
+
 let suite =
   [
     ( "bench-compare",
@@ -95,5 +178,12 @@ let suite =
           test_deterministic_drift_fails_despite_ignore_wall;
         Alcotest.test_case "checksum drift fails" `Quick test_checksum_drift_fails;
         Alcotest.test_case "nothing comparable fails" `Quick test_nothing_comparable_fails;
+        Alcotest.test_case "every drifted field reported" `Quick
+          test_every_drifted_field_reported;
+        Alcotest.test_case "extras compared only when shared" `Quick
+          test_extras_compared_only_when_shared;
+        Alcotest.test_case "extras parsed from JSON" `Quick test_extras_parsed_from_json;
+        Alcotest.test_case "load failures normalize to Failure" `Quick
+          test_load_failures_are_failure;
       ] );
   ]

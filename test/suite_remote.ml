@@ -1,0 +1,201 @@
+(* The remote process executor (Parallel.Remote) under seeded chaos.
+
+   Every test runs real worker processes: test_main.exe re-executes
+   itself (maybe_worker in test_main.ml hijacks the child), so these
+   exercise the actual spawn/frame/heartbeat machinery, not a mock.
+   Each failure mode in docs/PARALLEL.md's table gets a test that both
+   trips the detector (visible in Executor_stats) and proves the run's
+   results are STILL identical to a sequential run — the executor's
+   whole contract is that failure handling never shows up in output. *)
+
+let check = Alcotest.check
+
+let probe ?(spin_ms = 0) ?(sleep_ms = 0) reply =
+  Parallel.Task.Probe { reply; spin_ms; sleep_ms }
+
+let decode bytes =
+  match Core.Tasks.value_of_bytes bytes with
+  | Core.Tasks.V_string s -> s
+  | _ -> Alcotest.fail "probe decoded to a non-string value"
+
+let plan spec =
+  match Parallel.Chaos.parse spec with
+  | Ok p -> p
+  | Error msg -> Alcotest.fail msg
+
+(* tight timing knobs so failure paths resolve in test time, not the
+   production 600 s deadline *)
+let config ?(workers = 2) ?(task_deadline_s = 5.0) ?(heartbeat_grace_s = 2.0)
+    ?(chaos = Parallel.Chaos.none) () =
+  {
+    (Parallel.Remote.default_config ~workers) with
+    Parallel.Remote.task_deadline_s;
+    heartbeat_period_s = 0.05;
+    heartbeat_grace_s;
+    retry_backoff_s = 0.01;
+    respawn_backoff_s = 0.02;
+    respawn_backoff_max_s = 0.2;
+    chaos;
+  }
+
+let run_probes cfg tasks =
+  Parallel.Remote.with_executor ~config:cfg ~run:(Core.Tasks.runner ()) (fun ex ->
+      let rows = List.map decode (Parallel.Pool.run_tasks_exn ex tasks) in
+      (rows, ex.Parallel.Pool.ex_stats ()))
+
+let st_field st name =
+  match List.assoc_opt name (Parallel.Executor_stats.fields st) with
+  | Some n -> n
+  | None -> Alcotest.fail (Printf.sprintf "stat %s missing" name)
+
+let expect_replies tasks =
+  List.map (function Parallel.Task.Probe { reply; _ } -> reply | _ -> assert false) tasks
+
+let test_submission_order () =
+  (* staggered sleeps force completions out of order; harvest must not be *)
+  let tasks =
+    List.init 8 (fun i -> probe ~sleep_ms:((8 - i) * 15) (Printf.sprintf "r%d" i))
+  in
+  let rows, st = run_probes (config ()) tasks in
+  check (Alcotest.list Alcotest.string) "submission order" (expect_replies tasks) rows;
+  check Alcotest.int "no retries on a healthy run" 0 (st_field st "tasks_retried")
+
+let test_kill_after () =
+  (* both gen-0 workers die INSTEAD of answering their 2nd task; the
+     lost tasks retry on respawned workers and the output is unchanged *)
+  let tasks = List.init 6 (fun i -> probe (Printf.sprintf "k%d" i)) in
+  let rows, st = run_probes (config ~chaos:(plan "seed=3,kill-after=2") ()) tasks in
+  check (Alcotest.list Alcotest.string) "results despite kills" (expect_replies tasks) rows;
+  check Alcotest.bool "workers were lost" true (st_field st "workers_lost" >= 1);
+  check Alcotest.bool "lost tasks were retried" true (st_field st "tasks_retried" >= 1);
+  check Alcotest.bool "replacements spawned" true (st_field st "workers_respawned" >= 1)
+
+let test_hang_deadline () =
+  (* slot 0's first task hangs but keeps heartbeating: only the task
+     deadline can catch it *)
+  let tasks = List.init 4 (fun i -> probe (Printf.sprintf "h%d" i)) in
+  let rows, st =
+    run_probes (config ~task_deadline_s:0.4 ~chaos:(plan "seed=1,hang=0:0:1") ()) tasks
+  in
+  check (Alcotest.list Alcotest.string) "results despite hang" (expect_replies tasks) rows;
+  check Alcotest.bool "deadline expired" true (st_field st "deadline_expiries" >= 1);
+  check Alcotest.bool "hung task retried" true (st_field st "tasks_retried" >= 1)
+
+let test_mute_heartbeat () =
+  (* slot 0's first task hangs AND goes silent: the heartbeat grace
+     catches it long before the (generous) task deadline *)
+  let tasks = List.init 4 (fun i -> probe (Printf.sprintf "m%d" i)) in
+  let rows, st =
+    run_probes
+      (config ~task_deadline_s:30.0 ~heartbeat_grace_s:0.4 ~chaos:(plan "seed=1,mute=0:0:1") ())
+      tasks
+  in
+  check (Alcotest.list Alcotest.string) "results despite mute worker" (expect_replies tasks)
+    rows;
+  check Alcotest.bool "heartbeat grace expired" true (st_field st "heartbeat_expiries" >= 1)
+
+let test_corrupt_frame () =
+  let tasks = List.init 4 (fun i -> probe (Printf.sprintf "c%d" i)) in
+  let rows, st = run_probes (config ~chaos:(plan "seed=1,corrupt=0:0:1") ()) tasks in
+  check (Alcotest.list Alcotest.string) "results despite corrupt frame" (expect_replies tasks)
+    rows;
+  check Alcotest.bool "checksum caught the flip" true (st_field st "corrupt_frames" >= 1)
+
+let test_truncated_frame () =
+  let tasks = List.init 4 (fun i -> probe (Printf.sprintf "t%d" i)) in
+  let rows, st = run_probes (config ~chaos:(plan "seed=1,truncate=0:0:1") ()) tasks in
+  check (Alcotest.list Alcotest.string) "results despite truncated frame"
+    (expect_replies tasks) rows;
+  check Alcotest.bool "the worker was lost and replaced" true (st_field st "workers_lost" >= 1)
+
+let test_crash_loop_breaker () =
+  (* slot 0 exits at spawn, every generation: after max_respawns the
+     breaker marks it Broken and slot 1 carries the whole run. The
+     sleeps keep slot 1 busy long enough for slot 0 to burn through its
+     whole respawn budget before the run completes. *)
+  let tasks = List.init 10 (fun i -> probe ~sleep_ms:120 (Printf.sprintf "b%d" i)) in
+  let rows, st = run_probes (config ~chaos:(plan "seed=1,crash-loop=0") ()) tasks in
+  check (Alcotest.list Alcotest.string) "slot 1 absorbs the work" (expect_replies tasks) rows;
+  check Alcotest.bool "breaker tripped" true (st_field st "respawns_suppressed" >= 1)
+
+let test_all_broken_drains_inline () =
+  (* ONE worker, crash-looping: every slot Broken means the supervisor
+     runs the remainder inline — no stranded awaiter, same results *)
+  let tasks = List.init 3 (fun i -> probe (Printf.sprintf "i%d" i)) in
+  let rows, st =
+    run_probes (config ~workers:1 ~chaos:(plan "seed=1,crash-loop=0") ()) tasks
+  in
+  check (Alcotest.list Alcotest.string) "inline drain result" (expect_replies tasks) rows;
+  check Alcotest.int "every task ran inline" (List.length tasks) (st_field st "tasks_inline")
+
+let test_poison_falls_back_inline () =
+  (* one specific task kills ANY worker that touches it, every
+     generation; after the retry cap it runs inline while the rest of
+     the run proceeds normally on workers *)
+  let tasks = [ probe "ok1"; probe "victim"; probe "ok2"; probe "ok3" ] in
+  let rows, st = run_probes (config ~chaos:(plan "seed=1,poison=probe:victim") ()) tasks in
+  check (Alcotest.list Alcotest.string) "poisoned task still answers" (expect_replies tasks)
+    rows;
+  check Alcotest.bool "it exhausted its retries" true
+    (st_field st "tasks_retried" >= (config ()).Parallel.Remote.max_task_retries);
+  check Alcotest.bool "then ran inline" true (st_field st "tasks_inline" >= 1)
+
+(* The headline property, on a REAL experiment: under a random seeded
+   chaos plan, at any worker count, the remote executor's rows are
+   structurally equal to the sequential library call's. *)
+
+let chaos_arb =
+  let gen =
+    QCheck.Gen.(
+      map3
+        (fun seed kill p_kill ->
+          { Parallel.Chaos.none with Parallel.Chaos.seed; kill_after = kill; p_kill })
+        (1 -- 10_000)
+        (opt (1 -- 3))
+        (oneofl [ 0.0; 0.15; 0.4 ]))
+  in
+  QCheck.make ~print:Parallel.Chaos.to_spec gen
+
+let prop_sweep_deterministic workers =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "table2 under random chaos, workers=%d" workers)
+    ~count:4 chaos_arb
+    (fun chaos ->
+      let expected = Core.Experiments.table2 ~scale:Apps.Registry.Small ~jobs:1 () in
+      let rows, st =
+        Parallel.Remote.with_executor
+          ~config:(config ~workers ~chaos ())
+          ~run:(Core.Tasks.runner ())
+          (fun ex ->
+            ( Core.Tasks.table2 ~scale:Apps.Registry.Small ~ex (),
+              ex.Parallel.Pool.ex_stats () ))
+      in
+      (* kill-after=1 is guaranteed fatal for every gen-0 worker that
+         gets a task, so it must visibly exercise the retry path *)
+      let retry_path_ok =
+        chaos.Parallel.Chaos.kill_after <> Some 1 || st_field st "tasks_retried" > 0
+      in
+      rows = expected && retry_path_ok)
+
+let suite =
+  [
+    ( "remote-executor",
+      [
+        Alcotest.test_case "submission order over processes" `Quick test_submission_order;
+        Alcotest.test_case "kill-after: retry on worker loss" `Quick test_kill_after;
+        Alcotest.test_case "hang: task deadline" `Quick test_hang_deadline;
+        Alcotest.test_case "mute: heartbeat grace" `Quick test_mute_heartbeat;
+        Alcotest.test_case "corrupt frame: checksum" `Quick test_corrupt_frame;
+        Alcotest.test_case "truncated frame" `Quick test_truncated_frame;
+        Alcotest.test_case "crash-loop breaker" `Quick test_crash_loop_breaker;
+        Alcotest.test_case "all slots broken: inline drain" `Quick
+          test_all_broken_drains_inline;
+        Alcotest.test_case "poison: inline fallback" `Quick test_poison_falls_back_inline;
+      ]
+      @ List.map QCheck_alcotest.to_alcotest
+          [
+            prop_sweep_deterministic 1;
+            prop_sweep_deterministic 2;
+            prop_sweep_deterministic 4;
+          ] );
+  ]

@@ -19,7 +19,9 @@ test:
 # races and survive retransmission), record->replay smoke tests
 # (a lossy run's trace log and an interval-GC run's trace log must both
 # verify cleanly on re-execution, with the identical race set and
-# memory checksum), and the benchmark regression gate: a CI-sized sweep
+# memory checksum), a cache-coherent-backend smoke (an app run under
+# --backend mesi cross-checked against the offline oracle, plus a
+# MESI record->replay round-trip), and the benchmark regression gate: a CI-sized sweep
 # whose deterministic outcomes (races, checksums, simulated time, wire
 # bytes) must match the checked-in baseline exactly. The wall-clock
 # threshold is loose (50%) because the gate runs on heterogeneous
@@ -49,6 +51,9 @@ check:
 	dune exec bin/cvm_race.exe -- replay --log-only _build/sor.cvmt
 	dune exec bin/cvm_race.exe -- record sor --scale small -p 4 --protocol mw --gc-epochs 2 -o _build/sor_gc.cvmt
 	dune exec bin/cvm_race.exe -- replay _build/sor_gc.cvmt
+	dune exec bin/cvm_race.exe -- run fft --scale small -p 4 --backend mesi --oracle
+	dune exec bin/cvm_race.exe -- record sor --scale small -p 4 --backend mesi -o _build/sor_mesi.cvmt
+	dune exec bin/cvm_race.exe -- replay _build/sor_mesi.cvmt
 	dune exec bench/main.exe -- --small --jobs 1 sweep --json _build/bench_ci.json
 	dune exec bench/compare.exe -- bench/baseline_small.json _build/bench_ci.json --threshold 50
 	dune exec bench/main.exe -- --small --jobs 1 --procs 4 sweep --json _build/bench_j1.json

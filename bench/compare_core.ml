@@ -2,9 +2,10 @@
    the unit suite can drive it on synthetic runs.
 
    Sweep entries are matched on (app, scale, nprocs, detect, elide,
-   protocol) — [elide] defaults to false when the field is absent, so
-   baselines recorded before instrumentation elision existed still match;
-   for every pair the gate checks that
+   protocol, backend) — [elide] defaults to false and [backend] to
+   "lrc" when the field is absent, so baselines recorded before
+   instrumentation elision or the cache-coherent backends existed still
+   match; for every pair the gate checks that
 
      - wall-clock has not regressed by more than the threshold (default
        15%) — small absolute drifts under the noise floor (50 ms) never
@@ -44,11 +45,24 @@ let extra_fields =
     "lock_acquires";
     "barriers";
     "elided_checks";
+    "bus_transactions";
+    "bus_reads";
+    "bus_read_x";
+    "bus_upgrades";
+    "bus_updates";
+    "bus_writebacks";
+    "bus_syncs";
+    "bus_words";
+    "cache_hits";
+    "cache_misses";
+    "cache_evictions";
+    "invalidations";
+    "updates_applied";
   ]
 
 type entry = {
-  key : string * string * int * bool * bool * string;
-      (* app, scale, nprocs, detect, elide, protocol *)
+  key : string * string * int * bool * bool * string * string;
+      (* app, scale, nprocs, detect, elide, protocol, backend *)
   wall_s : float;
   sim_time_ns : int;
   races : int;
@@ -66,7 +80,8 @@ let entry_of_json v =
         to_int_exn (member "nprocs" v),
         to_bool_exn (member "detect" v),
         (match member "elide" v with Bool b -> b | _ -> false),
-        to_string_exn (member "protocol" v) );
+        to_string_exn (member "protocol" v),
+        (match member "backend" v with String s -> s | _ -> "lrc") );
     wall_s = to_float_exn (member "wall_s" v);
     sim_time_ns = to_int_exn (member "sim_time_ns" v);
     races = to_int_exn (member "races" v);
@@ -91,11 +106,12 @@ let load path =
   | Bench_json.Parse_error msg -> failwith (Printf.sprintf "%s: %s" path msg)
   | Sys_error msg -> failwith msg
 
-let key_string (app, scale, nprocs, detect, elide, protocol) =
-  Printf.sprintf "%s/%s p=%d %s%s %s" app scale nprocs
+let key_string (app, scale, nprocs, detect, elide, protocol, backend) =
+  Printf.sprintf "%s/%s p=%d %s%s %s%s" app scale nprocs
     (if detect then "detect" else "no-detect")
     (if elide then "+elide" else "")
     protocol
+    (if backend = "lrc" then "" else " " ^ backend)
 
 type report = { lines : string list; compared : int; failures : int }
 

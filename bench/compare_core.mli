@@ -12,8 +12,8 @@ val extra_fields : string list
     they have. *)
 
 type entry = {
-  key : string * string * int * bool * bool * string;
-      (** app, scale, nprocs, detect, elide, protocol — the match key;
+  key : string * string * int * bool * bool * string * string;
+      (** app, scale, nprocs, detect, elide, protocol, backend — the match key;
           [elide] reads as false when the field is absent, so baselines
           predating instrumentation elision still match *)
   wall_s : float;
@@ -36,7 +36,7 @@ val load : string -> entry list
     malformed JSON, wrong schema — raises [Failure] with the path
     prefixed, so callers need exactly one handler. *)
 
-val key_string : string * string * int * bool * bool * string -> string
+val key_string : string * string * int * bool * bool * string * string -> string
 
 type report = {
   lines : string list;  (** human-readable, one per comparison or note *)

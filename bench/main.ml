@@ -127,6 +127,10 @@ let run_micro () =
 
 let scale = ref Apps.Registry.Paper
 
+(* Coherence backend for the tables/figures and the sweep; the
+   separation experiment always runs all three. *)
+let backend = ref "lrc"
+
 (* Set once during flag parsing, before any pool exists; worker domains
    only ever read it. *)
 let jobs = ref (Parallel.Pool.default_jobs ())
@@ -139,7 +143,9 @@ let scale_name () =
 
 let run_table1 () =
   section "Table 1";
-  wall (fun () -> Core.Report.table1 ppf (Core.Experiments.table1 ~scale:!scale ~jobs:!jobs ()))
+  wall (fun () ->
+      Core.Report.table1 ppf
+        (Core.Experiments.table1 ~scale:!scale ~backend:!backend ~jobs:!jobs ()))
 
 let run_table2 () =
   section "Table 2";
@@ -147,11 +153,15 @@ let run_table2 () =
 
 let run_table3 () =
   section "Table 3";
-  wall (fun () -> Core.Report.table3 ppf (Core.Experiments.table3 ~scale:!scale ~jobs:!jobs ()))
+  wall (fun () ->
+      Core.Report.table3 ppf
+        (Core.Experiments.table3 ~scale:!scale ~backend:!backend ~jobs:!jobs ()))
 
 let run_figure3 () =
   section "Figure 3";
-  wall (fun () -> Core.Report.figure3 ppf (Core.Experiments.figure3 ~scale:!scale ~jobs:!jobs ()))
+  wall (fun () ->
+      Core.Report.figure3 ppf
+        (Core.Experiments.figure3 ~scale:!scale ~backend:!backend ~jobs:!jobs ()))
 
 let run_figure4 () =
   section "Figure 4";
@@ -161,9 +171,12 @@ let run_figure4 () =
          simulate; sweep it from 4 as the paper's own TSP curve is the
          noisiest of the four. *)
       let names = [ "fft"; "sor"; "water" ] in
-      let rows = Core.Experiments.figure4 ~scale:!scale ~names ~jobs:!jobs () in
+      let rows =
+        Core.Experiments.figure4 ~scale:!scale ~names ~backend:!backend ~jobs:!jobs ()
+      in
       let tsp =
-        Core.Experiments.figure4 ~scale:!scale ~procs:[ 4; 8 ] ~names:[ "tsp" ] ~jobs:!jobs ()
+        Core.Experiments.figure4 ~scale:!scale ~procs:[ 4; 8 ] ~names:[ "tsp" ]
+          ~backend:!backend ~jobs:!jobs ()
       in
       Core.Report.figure4 ppf (rows @ tsp))
 
@@ -225,6 +238,7 @@ let json_of_sweep_point (sp : Core.Experiments.sweep_point) =
       ("elide", Bool sp.Core.Experiments.sp_elide);
       ("elided_checks", Int stats.Sim.Stats.elided_checks);
       ("protocol", String sp.Core.Experiments.sp_protocol);
+      ("backend", String sp.Core.Experiments.sp_backend);
       ("wall_s", Float sp.Core.Experiments.sp_wall_s);
       ("sim_time_ns", Int sp.Core.Experiments.sp_sim_time_ns);
       ("races", Int sp.Core.Experiments.sp_races);
@@ -245,6 +259,19 @@ let json_of_sweep_point (sp : Core.Experiments.sweep_point) =
       ("private_accesses", Int stats.Sim.Stats.private_accesses);
       ("lock_acquires", Int stats.Sim.Stats.lock_acquires);
       ("barriers", Int stats.Sim.Stats.barriers);
+      ("bus_transactions", Int stats.Sim.Stats.bus_transactions);
+      ("bus_reads", Int stats.Sim.Stats.bus_reads);
+      ("bus_read_x", Int stats.Sim.Stats.bus_read_x);
+      ("bus_upgrades", Int stats.Sim.Stats.bus_upgrades);
+      ("bus_updates", Int stats.Sim.Stats.bus_updates);
+      ("bus_writebacks", Int stats.Sim.Stats.bus_writebacks);
+      ("bus_syncs", Int stats.Sim.Stats.bus_syncs);
+      ("bus_words", Int stats.Sim.Stats.bus_words);
+      ("cache_hits", Int stats.Sim.Stats.cache_hits);
+      ("cache_misses", Int stats.Sim.Stats.cache_misses);
+      ("cache_evictions", Int stats.Sim.Stats.cache_evictions);
+      ("invalidations", Int stats.Sim.Stats.invalidations);
+      ("updates_applied", Int stats.Sim.Stats.updates_applied);
       ("minor_words", Float sp.Core.Experiments.sp_minor_words);
       ("promoted_words", Float sp.Core.Experiments.sp_promoted_words);
       ("major_words", Float sp.Core.Experiments.sp_major_words);
@@ -253,8 +280,10 @@ let json_of_sweep_point (sp : Core.Experiments.sweep_point) =
     ]
 
 let line_of_sweep_point (sp : Core.Experiments.sweep_point) =
-  Printf.sprintf "%-6s p=%-3d %s  %8.2fs wall  %10d ns sim  %9.2e minor words  %d races"
+  Printf.sprintf
+    "%-6s p=%-3d %-6s %s  %8.2fs wall  %10d ns sim  %9.2e minor words  %d races"
     sp.Core.Experiments.sp_app sp.Core.Experiments.sp_nprocs
+    sp.Core.Experiments.sp_backend
     (if sp.Core.Experiments.sp_detect && sp.Core.Experiments.sp_elide then "det+elide"
      else if sp.Core.Experiments.sp_detect then "detect   "
      else "no-detect")
@@ -294,10 +323,13 @@ let run_sweep () =
   let points =
     List.concat_map
       (fun name ->
-        List.map (fun nprocs -> (name, nprocs, true, false)) procs
+        List.map (fun nprocs -> (name, nprocs, true, false, !backend)) procs
         (* one uninstrumented point per app anchors the slowdown, and one
            elision point measures how much the static MHP analysis buys *)
-        @ [ (name, List.hd procs, false, false); (name, List.hd procs, true, true) ])
+        @ [
+            (name, List.hd procs, false, false, !backend);
+            (name, List.hd procs, true, true, !backend);
+          ])
       names
   in
   wall (fun () ->
@@ -329,9 +361,9 @@ let run_sweep () =
         else
           Parallel.Pool.with_pool ~jobs:!jobs (fun pool ->
               Parallel.Pool.map_exn pool
-                (fun (name, nprocs, detect, elide) ->
-                  Core.Experiments.sweep_point ~clock:now_s ~scale:!scale ~nprocs ~detect
-                    ~elide name)
+                (fun (name, nprocs, detect, elide, backend) ->
+                  Core.Experiments.sweep_point ~clock:now_s ~backend ~scale:!scale ~nprocs
+                    ~detect ~elide name)
                 points)
       in
       List.iter
@@ -341,6 +373,51 @@ let run_sweep () =
         results)
 
 (* ------------------------------------------------------------------ *)
+(* The separation experiment: the same barrier apps under all three
+   backends as p scales. A DSM keeps caches consistent with messages
+   (diffs, write notices, bitmap rounds over a wire); a cache-coherent
+   bus does it with bus transactions and collects detection bitmaps
+   through shared memory. The table puts the two traffic currencies side
+   by side — messages/bytes versus bus transactions/words — so the
+   paper's "coherency guarantees make online detection cheap" argument
+   is visible as data. Points also land in the JSON sweep entries
+   (keyed by backend), so compare.exe gates them like any other. *)
+
+let separation_backends = [ "lrc"; "mesi"; "dragon" ]
+
+let run_separation () =
+  section "CC vs DSM separation: consistency traffic as p scales";
+  let names = [ "sor"; "water" ] in
+  let procs = [ 4; 8; 16 ] in
+  let points =
+    List.concat_map
+      (fun name ->
+        List.concat_map
+          (fun nprocs -> List.map (fun b -> (name, nprocs, b)) separation_backends)
+          procs)
+      names
+  in
+  wall (fun () ->
+      let results =
+        Parallel.Pool.with_pool ~jobs:!jobs (fun pool ->
+            Parallel.Pool.map_exn pool
+              (fun (name, nprocs, backend) ->
+                Core.Experiments.sweep_point ~clock:now_s ~backend ~scale:!scale ~nprocs
+                  ~detect:true ~elide:false name)
+              points)
+      in
+      Format.fprintf ppf "%-6s %4s %-7s %10s %12s %10s %10s %6s@." "app" "p" "backend"
+        "messages" "bytes" "bus-txns" "bus-words" "races";
+      List.iter
+        (fun (sp : Core.Experiments.sweep_point) ->
+          let stats = sp.Core.Experiments.sp_stats in
+          sweep_entries := json_of_sweep_point sp :: !sweep_entries;
+          Format.fprintf ppf "%-6s %4d %-7s %10d %12d %10d %10d %6d@."
+            sp.Core.Experiments.sp_app sp.Core.Experiments.sp_nprocs
+            sp.Core.Experiments.sp_backend stats.Sim.Stats.messages
+            stats.Sim.Stats.bytes stats.Sim.Stats.bus_transactions
+            stats.Sim.Stats.bus_words sp.Core.Experiments.sp_races)
+        results)
 
 let json_out : string option ref = ref None
 
@@ -379,6 +456,7 @@ let all () =
   run_protocols ();
   run_faults ();
   run_sweep ();
+  run_separation ();
   run_micro ()
 
 let () =
@@ -392,6 +470,24 @@ let () =
     | "--large" :: rest ->
         scale := Apps.Registry.Large;
         parse_flags rest
+    | "--backend" :: name :: rest ->
+        if not (Backends.known name) then begin
+          Printf.eprintf "unknown backend %S (available: %s)\n" name
+            (String.concat ", " Backends.all);
+          exit 2
+        end;
+        backend := name;
+        parse_flags rest
+    | "--backend" :: [] ->
+        prerr_endline "--backend requires a name (see --list-backends)";
+        exit 2
+    | "--list-backends" :: _ ->
+        List.iter
+          (fun name ->
+            Printf.printf "%-8s %s\n" name
+              (Option.value ~default:"" (Backends.describe name)))
+          Backends.all;
+        exit 0
     | "--json" :: path :: rest ->
         json_out := Some path;
         parse_flags rest
@@ -457,11 +553,12 @@ let () =
     | "faults" -> run_faults ()
     | "micro" -> run_micro ()
     | "sweep" -> run_sweep ()
+    | "separation" -> run_separation ()
     | "all" -> all ()
     | other ->
         Format.fprintf ppf
           "unknown experiment %S (expected \
-           table1|table2|table3|figure3|figure4|figure5|ablation|retention|protocols|faults|micro|sweep|all)@."
+           table1|table2|table3|figure3|figure4|figure5|ablation|retention|protocols|faults|micro|sweep|separation|all)@."
           other;
         exit 2
   in

@@ -47,6 +47,25 @@ let scale_arg =
           Apps.Registry.Paper
       & info [ "scale" ] ~docv:"SCALE" ~doc)
 
+let backend_arg =
+  let backend_conv =
+    let parse name =
+      if Backends.known name then Ok name
+      else
+        Error
+          (`Msg
+            (Printf.sprintf "unknown backend %S (available: %s)" name
+               (String.concat ", " Backends.all)))
+    in
+    Arg.conv (parse, Format.pp_print_string)
+  in
+  let doc =
+    "Coherence backend: lrc (message-passing DSM), mesi (snooping bus, \
+     write-invalidate) or dragon (snooping bus, write-update). $(b,--list-backends) \
+     prints the registry."
+  in
+  Arg.(value & opt backend_conv "lrc" & info [ "backend" ] ~docv:"BACKEND" ~doc)
+
 let protocol_arg =
   let doc = "Coherence protocol: sw (single-writer), mw (multi-writer), hb (home-based), sc." in
   Arg.(value
@@ -196,10 +215,11 @@ let with_executor ~jobs ~workers ~chaos ~task_deadline f =
   end
   else f (Parallel.Pool.task_executor ~jobs ~run ())
 
-let config ~protocol ~no_detect ~first_race_only ~stores_from_diffs ~oracle ~gc_epochs
-    ~elide =
+let config ~backend ~protocol ~no_detect ~first_race_only ~stores_from_diffs ~oracle
+    ~gc_epochs ~elide =
   {
     Lrc.Config.default with
+    backend;
     protocol;
     detect = not no_detect;
     first_race_only;
@@ -252,13 +272,13 @@ let print_outcome (outcome : Core.Driver.outcome) =
   Format.fprintf ppf "@[<v 2>statistics:@ %a@]@." Sim.Stats.pp outcome.Core.Driver.stats
 
 let run_command =
-  let run app_name procs scale protocol no_detect first_race_only stores_from_diffs
-      gc_epochs elide slowdown oracle drop dup reorder partitions net_seed watchdog_ms
-      max_retries transport =
+  let run app_name procs scale backend protocol no_detect first_race_only
+      stores_from_diffs gc_epochs elide slowdown oracle drop dup reorder partitions
+      net_seed watchdog_ms max_retries transport =
     let app = Apps.Registry.make ~scale app_name in
     let cfg =
-      config ~protocol ~no_detect ~first_race_only ~stores_from_diffs ~oracle ~gc_epochs
-        ~elide
+      config ~backend ~protocol ~no_detect ~first_race_only ~stores_from_diffs ~oracle
+        ~gc_epochs ~elide
     in
     let cfg =
       net_config cfg ~drop ~dup ~reorder ~partitions ~net_seed ~watchdog_ms ~max_retries
@@ -290,22 +310,22 @@ let run_command =
       end
     end
   in
-  let run app_name procs scale protocol no_detect first_race_only stores_from_diffs
-      gc_epochs elide slowdown oracle drop dup reorder partitions net_seed watchdog_ms
-      max_retries transport =
+  let run app_name procs scale backend protocol no_detect first_race_only
+      stores_from_diffs gc_epochs elide slowdown oracle drop dup reorder partitions
+      net_seed watchdog_ms max_retries transport =
     try
-      run app_name procs scale protocol no_detect first_race_only stores_from_diffs
-        gc_epochs elide slowdown oracle drop dup reorder partitions net_seed watchdog_ms
-        max_retries transport
+      run app_name procs scale backend protocol no_detect first_race_only
+        stores_from_diffs gc_epochs elide slowdown oracle drop dup reorder partitions
+        net_seed watchdog_ms max_retries transport
     with Sim.Engine.Deadlock diagnosis ->
       Format.fprintf ppf "DEADLOCK@.%s@." (Sim.Engine.diagnosis_to_string diagnosis);
       exit 2
   in
   let term =
-    Term.(const run $ app_arg $ procs_arg $ scale_arg $ protocol_arg $ no_detect_arg
-        $ first_race_arg $ diff_stores_arg $ gc_epochs_arg $ elide_arg $ slowdown_arg
-        $ oracle_arg $ drop_arg $ dup_arg $ reorder_arg $ partition_arg $ net_seed_arg
-        $ watchdog_arg $ max_retries_arg $ transport_arg)
+    Term.(const run $ app_arg $ procs_arg $ scale_arg $ backend_arg $ protocol_arg
+        $ no_detect_arg $ first_race_arg $ diff_stores_arg $ gc_epochs_arg $ elide_arg
+        $ slowdown_arg $ oracle_arg $ drop_arg $ dup_arg $ reorder_arg $ partition_arg
+        $ net_seed_arg $ watchdog_arg $ max_retries_arg $ transport_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run an application under online race detection.") term
 
@@ -343,12 +363,12 @@ let record_command =
     let doc = "Output file for the binary trace log." in
     Arg.(value & opt string "run.cvmt" & info [ "o"; "output" ] ~docv:"FILE" ~doc)
   in
-  let record app_name procs scale protocol no_detect first_race_only stores_from_diffs
-      gc_epochs elide drop dup reorder partitions net_seed watchdog_ms max_retries
-      transport out =
+  let record app_name procs scale backend protocol no_detect first_race_only
+      stores_from_diffs gc_epochs elide drop dup reorder partitions net_seed watchdog_ms
+      max_retries transport out =
     let cfg =
-      config ~protocol ~no_detect ~first_race_only ~stores_from_diffs ~oracle:false
-        ~gc_epochs ~elide
+      config ~backend ~protocol ~no_detect ~first_race_only ~stores_from_diffs
+        ~oracle:false ~gc_epochs ~elide
     in
     let cfg =
       net_config cfg ~drop ~dup ~reorder ~partitions ~net_seed ~watchdog_ms ~max_retries
@@ -364,21 +384,21 @@ let record_command =
       (Array.length decoded.Trace.Codec.events)
       (String.length log) out
   in
-  let record app_name procs scale protocol no_detect first_race_only stores_from_diffs
-      gc_epochs elide drop dup reorder partitions net_seed watchdog_ms max_retries
-      transport out =
+  let record app_name procs scale backend protocol no_detect first_race_only
+      stores_from_diffs gc_epochs elide drop dup reorder partitions net_seed watchdog_ms
+      max_retries transport out =
     try
-      record app_name procs scale protocol no_detect first_race_only stores_from_diffs
-        gc_epochs elide drop dup reorder partitions net_seed watchdog_ms max_retries
-        transport out
+      record app_name procs scale backend protocol no_detect first_race_only
+        stores_from_diffs gc_epochs elide drop dup reorder partitions net_seed
+        watchdog_ms max_retries transport out
     with Sim.Engine.Deadlock diagnosis ->
       Format.fprintf ppf "DEADLOCK@.%s@." (Sim.Engine.diagnosis_to_string diagnosis);
       exit 2
   in
   let term =
-    Term.(const record $ app_arg $ procs_arg $ scale_arg $ protocol_arg $ no_detect_arg
-        $ first_race_arg $ diff_stores_arg $ gc_epochs_arg $ elide_arg $ drop_arg
-        $ dup_arg $ reorder_arg $ partition_arg $ net_seed_arg $ watchdog_arg
+    Term.(const record $ app_arg $ procs_arg $ scale_arg $ backend_arg $ protocol_arg
+        $ no_detect_arg $ first_race_arg $ diff_stores_arg $ gc_epochs_arg $ elide_arg
+        $ drop_arg $ dup_arg $ reorder_arg $ partition_arg $ net_seed_arg $ watchdog_arg
         $ max_retries_arg $ transport_arg $ out_arg)
   in
   Cmd.v
@@ -528,14 +548,20 @@ let table_command =
     let doc = "Which experiment: table1, table2, table3, figure3, figure4, figure5, faults." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT" ~doc)
   in
-  let table which scale jobs workers chaos task_deadline =
+  let table which scale backend jobs workers chaos task_deadline =
+    (* figure5, protocols and faults are DSM-mechanism experiments
+       (LRC-internal protocol variants, wire faults); --backend does not
+       apply to them *)
+    let lrc_only = [ "figure5"; "protocols"; "faults" ] in
+    if backend <> "lrc" && List.mem which lrc_only then
+      Format.fprintf ppf "note: %s is DSM-specific; --backend %s ignored@." which backend;
     with_executor ~jobs ~workers ~chaos ~task_deadline (fun ex ->
         match which with
-        | "table1" -> Core.Report.table1 ppf (Core.Tasks.table1 ~scale ~ex ())
+        | "table1" -> Core.Report.table1 ppf (Core.Tasks.table1 ~scale ~backend ~ex ())
         | "table2" -> Core.Report.table2 ppf (Core.Tasks.table2 ~scale ~ex ())
-        | "table3" -> Core.Report.table3 ppf (Core.Tasks.table3 ~scale ~ex ())
-        | "figure3" -> Core.Report.figure3 ppf (Core.Tasks.figure3 ~scale ~ex ())
-        | "figure4" -> Core.Report.figure4 ppf (Core.Tasks.figure4 ~scale ~ex ())
+        | "table3" -> Core.Report.table3 ppf (Core.Tasks.table3 ~scale ~backend ~ex ())
+        | "figure3" -> Core.Report.figure3 ppf (Core.Tasks.figure3 ~scale ~backend ~ex ())
+        | "figure4" -> Core.Report.figure4 ppf (Core.Tasks.figure4 ~scale ~backend ~ex ())
         | "figure5" -> Core.Report.figure5 ppf (Core.Tasks.figure5_both ~ex ())
         | "protocols" ->
             Core.Report.protocols ppf (Core.Tasks.protocol_comparison_all ~scale ~ex ())
@@ -543,8 +569,8 @@ let table_command =
         | other -> Format.fprintf ppf "unknown experiment %S@." other)
   in
   let term =
-    Term.(const table $ which_arg $ scale_arg $ jobs_arg $ workers_arg $ chaos_arg
-        $ task_deadline_arg)
+    Term.(const table $ which_arg $ scale_arg $ backend_arg $ jobs_arg $ workers_arg
+        $ chaos_arg $ task_deadline_arg)
   in
   Cmd.v (Cmd.info "table" ~doc:"Regenerate one of the paper's tables or figures.") term
 
@@ -557,14 +583,14 @@ let sweep_command =
     let doc = "Comma-separated processor counts." in
     Arg.(value & opt (list int) [ 2; 4; 8 ] & info [ "p"; "procs" ] ~docv:"N,N,..." ~doc)
   in
-  let sweep apps procs scale jobs workers chaos task_deadline =
+  let sweep apps procs scale backend jobs workers chaos task_deadline =
     let names = match apps with [] -> Apps.Registry.all_names | names -> names in
     with_executor ~jobs ~workers ~chaos ~task_deadline (fun ex ->
-        Core.Report.figure4 ppf (Core.Tasks.figure4 ~scale ~procs ~names ~ex ()))
+        Core.Report.figure4 ppf (Core.Tasks.figure4 ~scale ~procs ~names ~backend ~ex ()))
   in
   let term =
-    Term.(const sweep $ apps_arg $ procs_list_arg $ scale_arg $ jobs_arg $ workers_arg
-        $ chaos_arg $ task_deadline_arg)
+    Term.(const sweep $ apps_arg $ procs_list_arg $ scale_arg $ backend_arg $ jobs_arg
+        $ workers_arg $ chaos_arg $ task_deadline_arg)
   in
   Cmd.v
     (Cmd.info "sweep"
@@ -808,6 +834,16 @@ let () =
   (* Spawned as a remote-executor worker? Serve tasks and exit — before
      any output or argument parsing. *)
   Parallel.Remote.maybe_worker ~run:(Core.Tasks.runner ()) ();
+  (* registry listing; handled before Cmdliner so it works from any
+     subcommand position *)
+  if Array.exists (String.equal "--list-backends") Sys.argv then begin
+    List.iter
+      (fun name ->
+        Printf.printf "%-8s %s\n" name
+          (Option.value ~default:"" (Backends.describe name)))
+      Backends.all;
+    exit 0
+  end;
   let doc = "online data-race detection via coherency guarantees (OSDI '96 reproduction)" in
   let info = Cmd.info "cvm_race" ~version:"1.0.0" ~doc in
   exit

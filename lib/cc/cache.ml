@@ -1,0 +1,99 @@
+(* Per-processor cache metadata: a set-associative array of line slots
+   with LRU replacement.
+
+   Only tags and protocol states live here — the data words stay in the
+   machine's single shared memory image (an atomic snooping bus gives
+   sequential consistency, so every cached copy always equals memory by
+   construction; what the cache model decides is *cost*: hits versus bus
+   transactions). The state type is the protocol's ['a]; [invalid] is
+   its distinguished empty value. *)
+
+type 'a slot = {
+  mutable tag : int;  (* global line number; meaningless when invalid *)
+  mutable state : 'a;
+  mutable stamp : int;  (* LRU clock value of the last touch *)
+}
+
+type 'a t = {
+  sets : int;
+  ways : int;
+  invalid : 'a;
+  slots : 'a slot array;  (* sets * ways, row-major *)
+  mutable tick : int;
+}
+
+let create ~sets ~ways ~invalid =
+  if sets <= 0 || sets land (sets - 1) <> 0 then
+    invalid_arg "Cache.create: sets must be a positive power of two";
+  if ways <= 0 then invalid_arg "Cache.create: need at least one way";
+  {
+    sets;
+    ways;
+    invalid;
+    slots = Array.init (sets * ways) (fun _ -> { tag = -1; state = invalid; stamp = 0 });
+    tick = 0;
+  }
+
+let set_of t ~line = line land (t.sets - 1)
+
+let touch t slot =
+  t.tick <- t.tick + 1;
+  slot.stamp <- t.tick
+
+(* Hit lookup on the access path: bumps the LRU clock. *)
+let find t ~line ~is_valid =
+  let base = set_of t ~line * t.ways in
+  let rec go i =
+    if i >= t.ways then None
+    else
+      let slot = t.slots.(base + i) in
+      if slot.tag = line && is_valid slot.state then begin
+        touch t slot;
+        Some slot
+      end
+      else go (i + 1)
+  in
+  go 0
+
+(* Snoop lookup: other processors probing for [line] on a bus
+   transaction. No LRU update — a snoop is not a use. *)
+let probe t ~line ~is_valid =
+  let base = set_of t ~line * t.ways in
+  let rec go i =
+    if i >= t.ways then None
+    else
+      let slot = t.slots.(base + i) in
+      if slot.tag = line && is_valid slot.state then Some slot else go (i + 1)
+  in
+  go 0
+
+type 'a eviction = { victim_tag : int; victim_state : 'a }
+
+(* Claim a slot for [line]: an invalid way if one exists, otherwise the
+   LRU way of the set (returning what it held so the caller can emit a
+   writeback for dirty states). The slot comes back tagged [line] in the
+   [invalid] state; the caller sets the fill state. *)
+let fill t ~line ~is_valid =
+  let base = set_of t ~line * t.ways in
+  let chosen = ref t.slots.(base) in
+  (try
+     for i = 0 to t.ways - 1 do
+       let slot = t.slots.(base + i) in
+       if not (is_valid slot.state) then begin
+         chosen := slot;
+         raise Exit
+       end;
+       if slot.stamp < !chosen.stamp then chosen := slot
+     done
+   with Exit -> ());
+  let slot = !chosen in
+  let eviction =
+    if is_valid slot.state then Some { victim_tag = slot.tag; victim_state = slot.state }
+    else None
+  in
+  slot.tag <- line;
+  slot.state <- t.invalid;
+  touch t slot;
+  (slot, eviction)
+
+let iter t f = Array.iter (fun slot -> f slot) t.slots

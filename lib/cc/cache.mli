@@ -1,0 +1,32 @@
+(** Set-associative per-processor cache metadata with LRU replacement.
+
+    Holds tags and protocol states only — the data words live in the
+    machine's single coherent memory image. Parametric in the state type
+    so MESI and Dragon share the structure. *)
+
+type 'a slot = {
+  mutable tag : int;  (** global line number; meaningless when invalid *)
+  mutable state : 'a;
+  mutable stamp : int;  (** LRU clock value of the last touch *)
+}
+
+type 'a t
+
+val create : sets:int -> ways:int -> invalid:'a -> 'a t
+(** [sets] must be a positive power of two. *)
+
+val find : 'a t -> line:int -> is_valid:('a -> bool) -> 'a slot option
+(** Access-path lookup; touches the LRU clock on a hit. *)
+
+val probe : 'a t -> line:int -> is_valid:('a -> bool) -> 'a slot option
+(** Snoop lookup; never touches the LRU clock (a snoop is not a use). *)
+
+type 'a eviction = { victim_tag : int; victim_state : 'a }
+
+val fill : 'a t -> line:int -> is_valid:('a -> bool) -> 'a slot * 'a eviction option
+(** Claim a slot for [line]: an invalid way if any, else the set's LRU
+    way. Returns the displaced valid line, if one, so the caller can
+    emit a writeback for dirty states. The slot comes back tagged
+    [line] with the [invalid] state; the caller sets the fill state. *)
+
+val iter : 'a t -> ('a slot -> unit) -> unit

@@ -17,6 +17,10 @@ type protocol =
           system for the section 6.4 accuracy discussion (Figure 5). *)
 
 type t = {
+  backend : string;
+      (** which coherence backend executes the run: ["lrc"] (the DSM
+          cluster driven by [protocol]) or a snooping-bus cache backend
+          (["mesi"], ["dragon"]). Resolved by [Backends.create]. *)
   protocol : protocol;
   detect : bool;  (** instrument accesses and run detection at barriers *)
   first_race_only : bool;  (** section 6.4: report only first-epoch races *)
@@ -64,6 +68,11 @@ type t = {
           only for statically race-free sites); [Some []] asks the
           driver to derive the set from the app's binary via
           [Instrument.Mhp.race_free_sites] *)
+  cc_line_bytes : int;
+      (** bus backends: cache line size in bytes (a power of two, a
+          multiple of the word size) *)
+  cc_sets : int;  (** bus backends: cache sets per processor *)
+  cc_ways : int;  (** bus backends: associativity *)
 }
 
 val default : t

@@ -1,0 +1,49 @@
+(* Synchronization-order recording and replay (the ROLT-style mechanism of
+   sections 6.1 and 7).
+
+   A first run records, per lock, the order in which grants were issued.
+   A replay run delays each acquire until it is that processor's turn, so
+   the second execution sees exactly the same synchronization order even
+   though instrumentation has perturbed the timing. This is what makes the
+   two-run program-counter identification scheme sound for programs whose
+   synchronization order is nondeterministic (both racy applications in the
+   paper are such programs). *)
+
+type t = {
+  grants : (int, int array) Hashtbl.t;  (* lock -> grantee pids in order *)
+  cursor : (int, int) Hashtbl.t;  (* lock -> next position (replay) *)
+}
+
+type recorder = { mutable order : (int * int) list (* (lock, grantee), reversed *) }
+
+let new_recorder () = { order = [] }
+
+let record recorder ~lock ~grantee = recorder.order <- (lock, grantee) :: recorder.order
+
+let of_recorder recorder =
+  let grants = Hashtbl.create 16 in
+  List.iter
+    (fun (lock, grantee) ->
+      let prev = Option.value ~default:[] (Hashtbl.find_opt grants lock) in
+      Hashtbl.replace grants lock (grantee :: prev))
+    recorder.order;
+  (* lists were built grant-last-first twice (recorder reversed, then cons),
+     so they are back in grant order *)
+  let arrays = Hashtbl.create 16 in
+  Hashtbl.iter (fun lock pids -> Hashtbl.add arrays lock (Array.of_list pids)) grants;
+  { grants = arrays; cursor = Hashtbl.create 16 }
+
+let next_grantee t ~lock =
+  match Hashtbl.find_opt t.grants lock with
+  | None -> None
+  | Some order ->
+      let pos = Option.value ~default:0 (Hashtbl.find_opt t.cursor lock) in
+      if pos >= Array.length order then None else Some order.(pos)
+
+let advance t ~lock =
+  let pos = Option.value ~default:0 (Hashtbl.find_opt t.cursor lock) in
+  Hashtbl.replace t.cursor lock (pos + 1)
+
+let reset t = Hashtbl.reset t.cursor
+
+let total_grants t = Hashtbl.fold (fun _ arr acc -> acc + Array.length arr) t.grants 0

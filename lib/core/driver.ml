@@ -47,45 +47,41 @@ let run ?(cost = Sim.Cost.default) ?(cfg = Lrc.Config.default) ?(watch_addrs = [
     else cost
   in
   let pages = Apps.App.pages_needed app ~page_size:cost.Sim.Cost.page_size in
-  let cluster = Lrc.Cluster.create ~cost ~cfg ~nprocs ~pages () in
+  let backend = Backends.create ~cost ~cfg ~nprocs ~pages () in
   let watch =
     match watch_addrs with
     | [] -> None
     | addrs ->
         let watch = Instrument.Watch.create ~addrs in
         for id = 0 to nprocs - 1 do
-          Lrc.Node.set_access_observer (Lrc.Cluster.node cluster id)
+          backend.Coherence.Backend.set_access_observer id
             (Instrument.Watch.observe watch)
         done;
         Some watch
   in
-  Lrc.Cluster.run cluster ~body:app.Apps.App.body;
-  let races = Lrc.Cluster.races cluster in
-  let mem_checksum = Lrc.Cluster.memory_checksum cluster in
+  backend.Coherence.Backend.run app.Apps.App.body;
+  let races = backend.Coherence.Backend.races () in
+  let mem_checksum = backend.Coherence.Backend.memory_checksum () in
+  let sim_time = backend.Coherence.Backend.sim_time () in
   (* terminal trace event: ties the log to the run's observable outcome,
      so a log alone reconstructs the race count and memory checksum *)
   (match cfg.Lrc.Config.tracer with
   | Some sink ->
-      Trace.Sink.emit sink
-        ~time:(Lrc.Cluster.sim_time cluster)
+      Trace.Sink.emit sink ~time:sim_time
         (Trace.Event.Run_end
-           {
-             checksum = mem_checksum;
-             sim_time_ns = Lrc.Cluster.sim_time cluster;
-             races = List.length races;
-           })
+           { checksum = mem_checksum; sim_time_ns = sim_time; races = List.length races })
   | None -> ());
   {
     app_name = app.Apps.App.name;
     nprocs;
     detect = cfg.Lrc.Config.detect;
-    sim_time_ns = Lrc.Cluster.sim_time cluster;
-    stats = Lrc.Cluster.stats cluster;
+    sim_time_ns = sim_time;
+    stats = backend.Coherence.Backend.stats;
     races;
-    trace = Lrc.Cluster.trace cluster;
-    sync_trace = Lrc.Cluster.sync_trace cluster;
+    trace = backend.Coherence.Backend.trace ();
+    sync_trace = backend.Coherence.Backend.sync_trace ();
     watch_hits = (match watch with Some w -> Instrument.Watch.hits w | None -> []);
-    symtab = Lrc.Cluster.symtab cluster;
+    symtab = backend.Coherence.Backend.symtab;
     mem_checksum;
   }
 

@@ -35,9 +35,11 @@ let paper_table1 =
     ("Water", 46.0, 2.31);
   ]
 
-let table1_row ?(scale = Apps.Registry.Paper) ?(nprocs = default_procs) name =
+let table1_row ?(scale = Apps.Registry.Paper) ?(nprocs = default_procs)
+    ?(backend = "lrc") name =
   let app = Apps.Registry.make ~scale name in
-  let sd = Driver.measure_slowdown ~app ~nprocs () in
+  let cfg = { Lrc.Config.default with Lrc.Config.backend } in
+  let sd = Driver.measure_slowdown ~cfg ~app ~nprocs () in
   let stats = sd.Driver.instrumented.Driver.stats in
   {
     t1_name = app.Apps.App.name;
@@ -51,8 +53,8 @@ let table1_row ?(scale = Apps.Registry.Paper) ?(nprocs = default_procs) name =
     t1_slowdown = sd.Driver.factor;
   }
 
-let table1 ?scale ?nprocs ?jobs () =
-  pmap ?jobs (table1_row ?scale ?nprocs) Apps.Registry.all_names
+let table1 ?scale ?nprocs ?backend ?jobs () =
+  pmap ?jobs (table1_row ?scale ?nprocs ?backend) Apps.Registry.all_names
 
 (* ------------------------------------------------------------------ *)
 (* Table 2: static instrumentation statistics                          *)
@@ -101,12 +103,14 @@ let table3_of_outcome (outcome : Driver.outcome) =
     t3_private_per_sec = float_of_int stats.Sim.Stats.private_accesses /. seconds;
   }
 
-let table3_row ?(scale = Apps.Registry.Paper) ?(nprocs = default_procs) name =
+let table3_row ?(scale = Apps.Registry.Paper) ?(nprocs = default_procs)
+    ?(backend = "lrc") name =
   let app = Apps.Registry.make ~scale name in
-  table3_of_outcome (Driver.run ~app ~nprocs ())
+  let cfg = { Lrc.Config.default with Lrc.Config.backend } in
+  table3_of_outcome (Driver.run ~cfg ~app ~nprocs ())
 
-let table3 ?scale ?nprocs ?jobs () =
-  pmap ?jobs (table3_row ?scale ?nprocs) Apps.Registry.all_names
+let table3 ?scale ?nprocs ?backend ?jobs () =
+  pmap ?jobs (table3_row ?scale ?nprocs ?backend) Apps.Registry.all_names
 
 (* ------------------------------------------------------------------ *)
 (* Figure 3: overhead breakdown per application                        *)
@@ -117,31 +121,35 @@ type figure3_row = {
   f3_overheads : (Sim.Stats.overhead_category * float) list;  (* % of base *)
 }
 
-let figure3_row ?(scale = Apps.Registry.Paper) ?(nprocs = default_procs) name =
+let figure3_row ?(scale = Apps.Registry.Paper) ?(nprocs = default_procs)
+    ?(backend = "lrc") name =
   let app = Apps.Registry.make ~scale name in
-  let sd = Driver.measure_slowdown ~app ~nprocs () in
+  let cfg = { Lrc.Config.default with Lrc.Config.backend } in
+  let sd = Driver.measure_slowdown ~cfg ~app ~nprocs () in
   {
     f3_name = app.Apps.App.name;
     f3_slowdown = sd.Driver.factor;
     f3_overheads = Driver.overhead_percentages sd;
   }
 
-let figure3 ?scale ?nprocs ?jobs () =
-  pmap ?jobs (figure3_row ?scale ?nprocs) Apps.Registry.all_names
+let figure3 ?scale ?nprocs ?backend ?jobs () =
+  pmap ?jobs (figure3_row ?scale ?nprocs ?backend) Apps.Registry.all_names
 
 (* ------------------------------------------------------------------ *)
 (* Figure 4: slowdown versus number of processors                      *)
 
 type figure4_row = { f4_name : string; f4_points : (int * float) list }
 
-let figure4_row ?(scale = Apps.Registry.Paper) ?(procs = [ 2; 4; 8 ]) name =
+let figure4_row ?(scale = Apps.Registry.Paper) ?(procs = [ 2; 4; 8 ]) ?(backend = "lrc")
+    name =
   let app = Apps.Registry.make ~scale name in
+  let cfg = { Lrc.Config.default with Lrc.Config.backend } in
   {
     f4_name = app.Apps.App.name;
     f4_points =
       List.map
         (fun nprocs ->
-          let sd = Driver.measure_slowdown ~app ~nprocs () in
+          let sd = Driver.measure_slowdown ~cfg ~app ~nprocs () in
           (nprocs, sd.Driver.factor))
         procs;
   }
@@ -153,9 +161,10 @@ let figure4_row ?(scale = Apps.Registry.Paper) ?(procs = [ 2; 4; 8 ]) name =
 let figure4_points ?(procs = [ 2; 4; 8 ]) ?(names = Apps.Registry.all_names) () =
   List.concat_map (fun name -> List.map (fun nprocs -> (name, nprocs)) procs) names
 
-let figure4_point ?scale ~nprocs name =
+let figure4_point ?scale ?(backend = "lrc") ~nprocs name =
   let app = Apps.Registry.make ?scale name in
-  let sd = Driver.measure_slowdown ~app ~nprocs () in
+  let cfg = { Lrc.Config.default with Lrc.Config.backend } in
+  let sd = Driver.measure_slowdown ~cfg ~app ~nprocs () in
   (app.Apps.App.name, (nprocs, sd.Driver.factor))
 
 let figure4_rows ~names ~points factors =
@@ -173,10 +182,10 @@ let figure4_rows ~names ~points factors =
       })
     names
 
-let figure4 ?scale ?procs ?(names = Apps.Registry.all_names) ?jobs () =
+let figure4 ?scale ?procs ?(names = Apps.Registry.all_names) ?backend ?jobs () =
   let points = figure4_points ?procs ~names () in
   let factors =
-    pmap ?jobs (fun (name, nprocs) -> figure4_point ?scale ~nprocs name) points
+    pmap ?jobs (fun (name, nprocs) -> figure4_point ?scale ?backend ~nprocs name) points
   in
   figure4_rows ~names ~points factors
 
@@ -441,6 +450,7 @@ type sweep_point = {
   sp_detect : bool;
   sp_elide : bool;
   sp_protocol : string;
+  sp_backend : string;
   sp_wall_s : float;
   sp_sim_time_ns : int;
   sp_races : int;
@@ -453,12 +463,14 @@ type sweep_point = {
   sp_major_collections : int;
 }
 
-let sweep_point ?(clock = Unix.gettimeofday) ~scale ~nprocs ~detect ~elide name =
+let sweep_point ?(clock = Unix.gettimeofday) ?(backend = "lrc") ~scale ~nprocs ~detect
+    ~elide name =
   let app = Apps.Registry.make ~scale name in
   let cfg =
     {
       Lrc.Config.default with
-      Lrc.Config.detect;
+      Lrc.Config.backend;
+      detect;
       elide_sites = (if elide then Some [] else None);
     }
   in
@@ -477,6 +489,7 @@ let sweep_point ?(clock = Unix.gettimeofday) ~scale ~nprocs ~detect ~elide name 
     sp_detect = detect;
     sp_elide = elide;
     sp_protocol = Lrc.Config.protocol_name cfg.Lrc.Config.protocol;
+    sp_backend = backend;
     sp_wall_s = t1 -. t0;
     sp_sim_time_ns = outcome.Driver.sim_time_ns;
     sp_races = List.length outcome.Driver.races;

@@ -24,8 +24,16 @@ type table1_row = {
 val paper_table1 : (string * float * float) list
 (** (app, intervals/barrier, slowdown) as published. *)
 
-val table1_row : ?scale:Apps.Registry.scale -> ?nprocs:int -> string -> table1_row
-val table1 : ?scale:Apps.Registry.scale -> ?nprocs:int -> ?jobs:int -> unit -> table1_row list
+val table1_row :
+  ?scale:Apps.Registry.scale -> ?nprocs:int -> ?backend:string -> string -> table1_row
+
+val table1 :
+  ?scale:Apps.Registry.scale ->
+  ?nprocs:int ->
+  ?backend:string ->
+  ?jobs:int ->
+  unit ->
+  table1_row list
 
 (** {1 Table 2 — static instrumentation statistics} *)
 
@@ -49,8 +57,16 @@ type table3_row = {
 }
 
 val table3_of_outcome : Driver.outcome -> table3_row
-val table3_row : ?scale:Apps.Registry.scale -> ?nprocs:int -> string -> table3_row
-val table3 : ?scale:Apps.Registry.scale -> ?nprocs:int -> ?jobs:int -> unit -> table3_row list
+val table3_row :
+  ?scale:Apps.Registry.scale -> ?nprocs:int -> ?backend:string -> string -> table3_row
+
+val table3 :
+  ?scale:Apps.Registry.scale ->
+  ?nprocs:int ->
+  ?backend:string ->
+  ?jobs:int ->
+  unit ->
+  table3_row list
 
 (** {1 Figure 3 — overhead breakdown} *)
 
@@ -60,21 +76,35 @@ type figure3_row = {
   f3_overheads : (Sim.Stats.overhead_category * float) list;
 }
 
-val figure3_row : ?scale:Apps.Registry.scale -> ?nprocs:int -> string -> figure3_row
-val figure3 : ?scale:Apps.Registry.scale -> ?nprocs:int -> ?jobs:int -> unit -> figure3_row list
+val figure3_row :
+  ?scale:Apps.Registry.scale -> ?nprocs:int -> ?backend:string -> string -> figure3_row
+
+val figure3 :
+  ?scale:Apps.Registry.scale ->
+  ?nprocs:int ->
+  ?backend:string ->
+  ?jobs:int ->
+  unit ->
+  figure3_row list
 
 (** {1 Figure 4 — slowdown versus processors} *)
 
 type figure4_row = { f4_name : string; f4_points : (int * float) list }
 
-val figure4_row : ?scale:Apps.Registry.scale -> ?procs:int list -> string -> figure4_row
+val figure4_row :
+  ?scale:Apps.Registry.scale -> ?procs:int list -> ?backend:string -> string -> figure4_row
 
 val figure4_points :
   ?procs:int list -> ?names:string list -> unit -> (string * int) list
 (** The (app, nprocs) measurement points of a {!figure4} call, in row
     order — the executor-facing decomposition. *)
 
-val figure4_point : ?scale:Apps.Registry.scale -> nprocs:int -> string -> string * (int * float)
+val figure4_point :
+  ?scale:Apps.Registry.scale ->
+  ?backend:string ->
+  nprocs:int ->
+  string ->
+  string * (int * float)
 (** One measurement: (display name, (nprocs, slowdown factor)). *)
 
 val figure4_rows :
@@ -88,6 +118,7 @@ val figure4 :
   ?scale:Apps.Registry.scale ->
   ?procs:int list ->
   ?names:string list ->
+  ?backend:string ->
   ?jobs:int ->
   unit ->
   figure4_row list
@@ -212,6 +243,7 @@ type sweep_point = {
   sp_detect : bool;
   sp_elide : bool;
   sp_protocol : string;
+  sp_backend : string;  (** coherence backend the point ran under *)
   sp_wall_s : float;
   sp_sim_time_ns : int;
   sp_races : int;
@@ -226,6 +258,7 @@ type sweep_point = {
 
 val sweep_point :
   ?clock:(unit -> float) ->
+  ?backend:string ->
   scale:Apps.Registry.scale ->
   nprocs:int ->
   detect:bool ->

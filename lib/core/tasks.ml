@@ -31,7 +31,7 @@ type value =
   | V_retention of Experiments.retention_row
   | V_sweep of Experiments.sweep_point
 
-let value_codec_version = 1
+let value_codec_version = 2
 
 exception Corrupt of string
 
@@ -62,15 +62,15 @@ let eval ?clock (task : Parallel.Task.t) : value =
       end;
       if sleep_ms > 0 then Unix.sleepf (float_of_int sleep_ms /. 1000.0);
       V_string reply
-  | Table1_row { scale; nprocs; app } ->
-      V_table1 (Experiments.table1_row ~scale:(scale_of scale) ~nprocs app)
+  | Table1_row { scale; nprocs; app; backend } ->
+      V_table1 (Experiments.table1_row ~scale:(scale_of scale) ~nprocs ~backend app)
   | Table2_row { scale; app } -> V_table2 (Experiments.table2_row ~scale:(scale_of scale) app)
-  | Table3_row { scale; nprocs; app } ->
-      V_table3 (Experiments.table3_row ~scale:(scale_of scale) ~nprocs app)
-  | Figure3_row { scale; nprocs; app } ->
-      V_figure3 (Experiments.figure3_row ~scale:(scale_of scale) ~nprocs app)
-  | Figure4_point { scale; nprocs; app } ->
-      V_figure4 (Experiments.figure4_point ~scale:(scale_of scale) ~nprocs app)
+  | Table3_row { scale; nprocs; app; backend } ->
+      V_table3 (Experiments.table3_row ~scale:(scale_of scale) ~nprocs ~backend app)
+  | Figure3_row { scale; nprocs; app; backend } ->
+      V_figure3 (Experiments.figure3_row ~scale:(scale_of scale) ~nprocs ~backend app)
+  | Figure4_point { scale; nprocs; app; backend } ->
+      V_figure4 (Experiments.figure4_point ~scale:(scale_of scale) ~backend ~nprocs app)
   | Figure5 { protocol } ->
       V_figure5 (Experiments.figure5 ~protocol:(Lrc.Config.protocol_of_name protocol) ())
   | Protocol_row { scale; nprocs; app; protocol } ->
@@ -83,8 +83,10 @@ let eval ?clock (task : Parallel.Task.t) : value =
       V_ablation (Experiments.stores_from_diffs_ablation ~scale:(scale_of scale) ~nprocs app)
   | Retention_row { scale; nprocs; app } ->
       V_retention (Experiments.site_retention_ablation ~scale:(scale_of scale) ~nprocs app)
-  | Bench_point { scale; nprocs; detect; elide; app } ->
-      V_sweep (Experiments.sweep_point ?clock ~scale:(scale_of scale) ~nprocs ~detect ~elide app)
+  | Bench_point { scale; nprocs; detect; elide; app; backend } ->
+      V_sweep
+        (Experiments.sweep_point ?clock ~backend ~scale:(scale_of scale) ~nprocs ~detect
+           ~elide app)
   | Equiv_combo { label } ->
       failwith
         (Printf.sprintf "Core.Tasks.eval: equiv combo %S needs the harness's extra interpreter"
@@ -107,11 +109,12 @@ let run_values (ex : Parallel.Pool.executor) tasks =
 
 let scale_name = Apps.Registry.scale_name
 
-let table1 ?(scale = Apps.Registry.Paper) ?(nprocs = Experiments.default_procs) ~ex () =
+let table1 ?(scale = Apps.Registry.Paper) ?(nprocs = Experiments.default_procs)
+    ?(backend = "lrc") ~ex () =
   run_values ex
     (List.map
        (fun app ->
-         Parallel.Task.Table1_row { scale = scale_name scale; nprocs; app })
+         Parallel.Task.Table1_row { scale = scale_name scale; nprocs; app; backend })
        Apps.Registry.all_names)
   |> List.map (function V_table1 r -> r | _ -> unexpected "table1")
 
@@ -122,29 +125,32 @@ let table2 ?(scale = Apps.Registry.Paper) ~ex () =
        Apps.Registry.all_names)
   |> List.map (function V_table2 r -> r | _ -> unexpected "table2")
 
-let table3 ?(scale = Apps.Registry.Paper) ?(nprocs = Experiments.default_procs) ~ex () =
+let table3 ?(scale = Apps.Registry.Paper) ?(nprocs = Experiments.default_procs)
+    ?(backend = "lrc") ~ex () =
   run_values ex
     (List.map
        (fun app ->
-         Parallel.Task.Table3_row { scale = scale_name scale; nprocs; app })
+         Parallel.Task.Table3_row { scale = scale_name scale; nprocs; app; backend })
        Apps.Registry.all_names)
   |> List.map (function V_table3 r -> r | _ -> unexpected "table3")
 
-let figure3 ?(scale = Apps.Registry.Paper) ?(nprocs = Experiments.default_procs) ~ex () =
+let figure3 ?(scale = Apps.Registry.Paper) ?(nprocs = Experiments.default_procs)
+    ?(backend = "lrc") ~ex () =
   run_values ex
     (List.map
        (fun app ->
-         Parallel.Task.Figure3_row { scale = scale_name scale; nprocs; app })
+         Parallel.Task.Figure3_row { scale = scale_name scale; nprocs; app; backend })
        Apps.Registry.all_names)
   |> List.map (function V_figure3 r -> r | _ -> unexpected "figure3")
 
-let figure4 ?(scale = Apps.Registry.Paper) ?procs ?(names = Apps.Registry.all_names) ~ex () =
+let figure4 ?(scale = Apps.Registry.Paper) ?procs ?(names = Apps.Registry.all_names)
+    ?(backend = "lrc") ~ex () =
   let points = Experiments.figure4_points ?procs ~names () in
   let factors =
     run_values ex
       (List.map
          (fun (app, nprocs) ->
-           Parallel.Task.Figure4_point { scale = scale_name scale; nprocs; app })
+           Parallel.Task.Figure4_point { scale = scale_name scale; nprocs; app; backend })
          points)
     |> List.map (function V_figure4 r -> r | _ -> unexpected "figure4")
   in
@@ -205,7 +211,8 @@ let site_retention_ablation_all ?(scale = Apps.Registry.Paper)
 let sweep_points ~scale ~ex points =
   run_values ex
     (List.map
-       (fun (app, nprocs, detect, elide) ->
-         Parallel.Task.Bench_point { scale = scale_name scale; nprocs; detect; elide; app })
+       (fun (app, nprocs, detect, elide, backend) ->
+         Parallel.Task.Bench_point
+           { scale = scale_name scale; nprocs; detect; elide; app; backend })
        points)
   |> List.map (function V_sweep r -> r | _ -> unexpected "sweep")

@@ -53,6 +53,7 @@ val runner :
 val table1 :
   ?scale:Apps.Registry.scale ->
   ?nprocs:int ->
+  ?backend:string ->
   ex:Parallel.Pool.executor ->
   unit ->
   Experiments.table1_row list
@@ -63,6 +64,7 @@ val table2 :
 val table3 :
   ?scale:Apps.Registry.scale ->
   ?nprocs:int ->
+  ?backend:string ->
   ex:Parallel.Pool.executor ->
   unit ->
   Experiments.table3_row list
@@ -70,6 +72,7 @@ val table3 :
 val figure3 :
   ?scale:Apps.Registry.scale ->
   ?nprocs:int ->
+  ?backend:string ->
   ex:Parallel.Pool.executor ->
   unit ->
   Experiments.figure3_row list
@@ -78,6 +81,7 @@ val figure4 :
   ?scale:Apps.Registry.scale ->
   ?procs:int list ->
   ?names:string list ->
+  ?backend:string ->
   ex:Parallel.Pool.executor ->
   unit ->
   Experiments.figure4_row list
@@ -117,6 +121,6 @@ val site_retention_ablation_all :
 val sweep_points :
   scale:Apps.Registry.scale ->
   ex:Parallel.Pool.executor ->
-  (string * int * bool * bool) list ->
+  (string * int * bool * bool * string) list ->
   Experiments.sweep_point list
-(** The bench harness's (app, nprocs, detect, elide) points. *)
+(** The bench harness's (app, nprocs, detect, elide, backend) points. *)

@@ -80,6 +80,10 @@ let meta_of ~app_name ~scale ~nprocs (cfg : Lrc.Config.t) : Trace.Codec.meta =
     (* only the flag travels in the log; the site set is re-derived from
        the app's binary at replay (it is a pure function of the binary) *)
     m_elide = cfg.Lrc.Config.elide_sites <> None;
+    m_backend = cfg.Lrc.Config.backend;
+    m_cc_line_bytes = cfg.Lrc.Config.cc_line_bytes;
+    m_cc_sets = cfg.Lrc.Config.cc_sets;
+    m_cc_ways = cfg.Lrc.Config.cc_ways;
   }
 
 let config_of_meta (m : Trace.Codec.meta) : Lrc.Config.t =
@@ -109,6 +113,10 @@ let config_of_meta (m : Trace.Codec.meta) : Lrc.Config.t =
     watchdog_ns = m.Trace.Codec.m_watchdog_ns;
     gc_epochs = m.Trace.Codec.m_gc_epochs;
     elide_sites = (if m.Trace.Codec.m_elide then Some [] else None);
+    backend = m.Trace.Codec.m_backend;
+    cc_line_bytes = m.Trace.Codec.m_cc_line_bytes;
+    cc_sets = m.Trace.Codec.m_cc_sets;
+    cc_ways = m.Trace.Codec.m_cc_ways;
   }
 
 let record ?cost ?(cfg = Lrc.Config.default) ~app_name ~scale ~nprocs () =

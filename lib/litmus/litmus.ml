@@ -241,11 +241,17 @@ type kernel_outcome = {
   watch_hits : Instrument.Watch.hit list;  (* [] unless watch_addrs given *)
 }
 
-let run_kernel ?(protocol = Lrc.Config.Multi_writer) ?(watch_addrs = []) ?(elide = false)
-    kernel =
+let run_kernel ?(backend = "lrc") ?(protocol = Lrc.Config.Multi_writer)
+    ?(watch_addrs = []) ?(elide = false) kernel =
   let cfg =
     kernel.k_cfg
-      { Lrc.Config.default with Lrc.Config.protocol; detect = true; record_trace = true }
+      {
+        Lrc.Config.default with
+        Lrc.Config.backend;
+        protocol;
+        detect = true;
+        record_trace = true;
+      }
   in
   let cfg =
     if elide then
@@ -255,29 +261,32 @@ let run_kernel ?(protocol = Lrc.Config.Multi_writer) ?(watch_addrs = []) ?(elide
       }
     else cfg
   in
-  let cluster = Lrc.Cluster.create ~cfg ~nprocs:kernel.k_nprocs ~pages:kernel.k_pages () in
+  let machine = Backends.create ~cfg ~nprocs:kernel.k_nprocs ~pages:kernel.k_pages () in
   let watch =
     match watch_addrs with
     | [] -> None
     | addrs ->
         let watch = Instrument.Watch.create ~addrs in
         for id = 0 to kernel.k_nprocs - 1 do
-          Lrc.Node.set_access_observer (Lrc.Cluster.node cluster id)
+          machine.Coherence.Backend.set_access_observer id
             (Instrument.Watch.observe watch)
         done;
         Some watch
   in
   let base =
-    Lrc.Cluster.alloc cluster (kernel.k_words * 8) ~name:("kernel:" ^ kernel.k_name)
+    machine.Coherence.Backend.alloc (kernel.k_words * 8)
+      ~name:("kernel:" ^ kernel.k_name)
   in
-  Lrc.Cluster.run cluster ~body:(fun node -> kernel.k_body ~base node);
+  machine.Coherence.Backend.run (fun node -> kernel.k_body ~base node);
   {
     detected =
-      Lrc.Cluster.races cluster
+      machine.Coherence.Backend.races ()
       |> List.map (fun (r : Proto.Race.t) -> r.Proto.Race.addr)
       |> List.sort_uniq compare;
-    oracle = Racedetect.Oracle.racy_addrs ~nprocs:kernel.k_nprocs (Lrc.Cluster.trace cluster);
-    checksum = Lrc.Cluster.memory_checksum cluster;
+    oracle =
+      Racedetect.Oracle.racy_addrs ~nprocs:kernel.k_nprocs
+        (machine.Coherence.Backend.trace ());
+    checksum = machine.Coherence.Backend.memory_checksum ();
     watch_hits = (match watch with Some w -> Instrument.Watch.hits w | None -> []);
   }
 

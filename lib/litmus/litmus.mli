@@ -79,13 +79,15 @@ type kernel_outcome = {
 }
 
 val run_kernel :
+  ?backend:string ->
   ?protocol:Lrc.Config.protocol ->
   ?watch_addrs:int list ->
   ?elide:bool ->
   kernel ->
   kernel_outcome
-(** One deterministic execution under the given protocol (default
-    multi-writer, the protocol whose machinery the kernels stress).
+(** One deterministic execution under the given backend (default
+    ["lrc"]) and protocol (default multi-writer, the protocol whose
+    machinery the kernels stress; bus backends ignore it).
     [watch_addrs] wires an {!Instrument.Watch} observer onto every node;
     [elide] skips runtime checks at the sites the kernel's binary is
     statically proven race-free at. *)

@@ -150,7 +150,7 @@ let alloc t ?name ?(align = 0) bytes =
 
 let run t ~body =
   Array.iter
-    (fun node -> ignore (Sim.Engine.spawn t.engine (fun _pid -> body node)))
+    (fun node -> ignore (Sim.Engine.spawn t.engine (fun _pid -> body (Node.view node))))
     t.nodes;
   Sim.Engine.run t.engine
 

@@ -16,7 +16,7 @@ val alloc : t -> ?name:string -> ?align:int -> int -> int
     the range in the symbol table so race reports resolve symbolically.
     Raises [Invalid_argument] when the segment is exhausted. *)
 
-val run : t -> body:(Node.t -> unit) -> unit
+val run : t -> body:(Dsm.node -> unit) -> unit
 (** Spawn one process per node running [body] and drive the simulation to
     completion. Exceptions from bodies (failed self-checks) propagate;
     blocked processes raise {!Sim.Engine.Deadlock}. *)

@@ -2,25 +2,33 @@
    program) code against. This is the CVM user interface: dynamically
    allocated shared memory, word accesses, locks and barriers, plus a
    [compute]/[touch_private] pair with which SPMD programs model their
-   private computation under the cost model. *)
+   private computation under the cost model.
 
-type node = Node.t
+   Since the coherence-protocol interface was factored out, a node is the
+   backend-independent {!Coherence.Node.t} handle, so the same
+   application bodies run unmodified on the LRC DSM cluster or on the
+   snooping-bus cache backends. *)
 
-let pid = Node.id
-let nprocs = Node.nprocs
+type node = Coherence.Node.t
 
-let malloc node ?name ?align bytes = Node.malloc node ?name ?align bytes
+let pid (n : node) = n.Coherence.Node.id
+let nprocs (n : node) = n.Coherence.Node.nprocs
 
-let read_int64 node ?site addr = Node.read_word node ?site addr
-let write_int64 node ?site addr value = Node.write_word node ?site addr value
+let malloc (n : node) ?name ?align bytes = n.Coherence.Node.malloc ?name ?align bytes
 
-let read_float node ?site addr = Node.read_word_float node ?site addr
-let write_float node ?site addr value = Node.write_word_float node ?site addr value
-let read_int node ?site addr = Node.read_word_int node ?site addr
-let write_int node ?site addr value = Node.write_word_int node ?site addr value
+let read_int64 (n : node) ?site addr = n.Coherence.Node.read_word ?site addr
+let write_int64 (n : node) ?site addr value = n.Coherence.Node.write_word ?site addr value
 
-let lock = Node.lock
-let unlock = Node.unlock
+let read_float (n : node) ?site addr = n.Coherence.Node.read_word_float ?site addr
+
+let write_float (n : node) ?site addr value =
+  n.Coherence.Node.write_word_float ?site addr value
+
+let read_int (n : node) ?site addr = n.Coherence.Node.read_word_int ?site addr
+let write_int (n : node) ?site addr value = n.Coherence.Node.write_word_int ?site addr value
+
+let lock (n : node) lock_id = n.Coherence.Node.lock lock_id
+let unlock (n : node) lock_id = n.Coherence.Node.unlock lock_id
 
 let with_lock node lock_id f =
   lock node lock_id;
@@ -32,21 +40,21 @@ let with_lock node lock_id f =
       unlock node lock_id;
       raise exn
 
-let barrier = Node.barrier
+let barrier (n : node) = n.Coherence.Node.barrier ()
 
 let consolidate node =
   (* Section 6.3: global-state consolidation for programs that synchronize
      without barriers — implemented, as in CVM's garbage-collection path,
      as an internal global synchronization that runs the same detection. *)
-  Node.barrier node
+  barrier node
 
-let compute = Node.compute
-let idle = Node.idle
-let touch_private = Node.touch_private
+let compute (n : node) ops = n.Coherence.Node.compute ops
+let idle (n : node) ns = n.Coherence.Node.idle ns
+let touch_private (n : node) count = n.Coherence.Node.touch_private count
 
 (* Block/word helpers used heavily by the applications. *)
 
-let word_size node = (Node.geometry node).Mem.Geometry.word_size
+let word_size (n : node) = n.Coherence.Node.geometry.Mem.Geometry.word_size
 
 let addr_of_index node base index = base + (index * word_size node)
 

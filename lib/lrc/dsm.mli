@@ -6,7 +6,10 @@
     optional [site] labels are symbolic program counters used by the
     two-run race identification of paper section 6.1. *)
 
-type node = Node.t
+type node = Coherence.Node.t
+(** The backend-independent processor handle: the same application bodies
+    run unmodified on the LRC DSM cluster and on the snooping-bus cache
+    backends. {!Node.view} produces one from an LRC node. *)
 
 val pid : node -> int
 val nprocs : node -> int

@@ -1669,3 +1669,26 @@ let service_diagnostics t =
         t.nprocs
       :: !lines;
   List.sort compare !lines
+
+let view t =
+  (* The backend-independent processor handle (a record of closures over
+     this node) that application bodies receive — the surface shared with
+     the bus-cache backends. *)
+  {
+    Coherence.Node.id = t.id;
+    nprocs = t.nprocs;
+    geometry = t.rt.geometry;
+    malloc = (fun ?name ?align bytes -> malloc t ?name ?align bytes);
+    read_word = (fun ?site addr -> read_word t ?site addr);
+    write_word = (fun ?site addr value -> write_word t ?site addr value);
+    read_word_int = (fun ?site addr -> read_word_int t ?site addr);
+    write_word_int = (fun ?site addr value -> write_word_int t ?site addr value);
+    read_word_float = (fun ?site addr -> read_word_float t ?site addr);
+    write_word_float = (fun ?site addr value -> write_word_float t ?site addr value);
+    lock = (fun id -> lock t id);
+    unlock = (fun id -> unlock t id);
+    barrier = (fun () -> barrier t);
+    compute = (fun ops -> compute t ops);
+    idle = (fun ns -> idle t ns);
+    touch_private = (fun n -> touch_private t n);
+  }

@@ -116,3 +116,7 @@ val retained_site :
   string option
 (** With [retain_sites], the site recorded for an access of this interval
     (the single-run identification alternative of section 6.1). *)
+
+val view : t -> Coherence.Node.t
+(** The backend-independent processor handle over this node — what
+    {!Cluster.run} hands to application bodies. *)

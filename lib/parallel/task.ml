@@ -18,39 +18,54 @@
 
 type t =
   | Probe of { reply : string; spin_ms : int; sleep_ms : int }
-  | Table1_row of { scale : string; nprocs : int; app : string }
+  | Table1_row of { scale : string; nprocs : int; app : string; backend : string }
   | Table2_row of { scale : string; app : string }
-  | Table3_row of { scale : string; nprocs : int; app : string }
-  | Figure3_row of { scale : string; nprocs : int; app : string }
-  | Figure4_point of { scale : string; nprocs : int; app : string }
+  | Table3_row of { scale : string; nprocs : int; app : string; backend : string }
+  | Figure3_row of { scale : string; nprocs : int; app : string; backend : string }
+  | Figure4_point of { scale : string; nprocs : int; app : string; backend : string }
   | Figure5 of { protocol : string }
   | Protocol_row of { scale : string; nprocs : int; app : string; protocol : string }
   | Fault_app_sweep of { scale : string; nprocs : int; drops : float list; app : string }
   | Ablation_row of { scale : string; nprocs : int; app : string }
   | Retention_row of { scale : string; nprocs : int; app : string }
-  | Bench_point of { scale : string; nprocs : int; detect : bool; elide : bool; app : string }
+  | Bench_point of {
+      scale : string;
+      nprocs : int;
+      detect : bool;
+      elide : bool;
+      app : string;
+      backend : string;
+    }
   | Equiv_combo of { label : string }
 
-let codec_version = 1
+let codec_version = 2
 
 exception Corrupt of string
 
+(* label suffix for a non-default backend, so progress lines disambiguate *)
+let bk = function "lrc" -> "" | backend -> "-" ^ backend
+
 let label = function
   | Probe { reply; _ } -> Printf.sprintf "probe:%s" reply
-  | Table1_row { app; nprocs; _ } -> Printf.sprintf "table1:%s-p%d" app nprocs
+  | Table1_row { app; nprocs; backend; _ } ->
+      Printf.sprintf "table1:%s-p%d%s" app nprocs (bk backend)
   | Table2_row { app; _ } -> Printf.sprintf "table2:%s" app
-  | Table3_row { app; nprocs; _ } -> Printf.sprintf "table3:%s-p%d" app nprocs
-  | Figure3_row { app; nprocs; _ } -> Printf.sprintf "figure3:%s-p%d" app nprocs
-  | Figure4_point { app; nprocs; _ } -> Printf.sprintf "figure4:%s-p%d" app nprocs
+  | Table3_row { app; nprocs; backend; _ } ->
+      Printf.sprintf "table3:%s-p%d%s" app nprocs (bk backend)
+  | Figure3_row { app; nprocs; backend; _ } ->
+      Printf.sprintf "figure3:%s-p%d%s" app nprocs (bk backend)
+  | Figure4_point { app; nprocs; backend; _ } ->
+      Printf.sprintf "figure4:%s-p%d%s" app nprocs (bk backend)
   | Figure5 { protocol } -> Printf.sprintf "figure5:%s" protocol
   | Protocol_row { app; nprocs; protocol; _ } ->
       Printf.sprintf "protocol:%s-%s-p%d" app protocol nprocs
   | Fault_app_sweep { app; nprocs; _ } -> Printf.sprintf "faults:%s-p%d" app nprocs
   | Ablation_row { app; nprocs; _ } -> Printf.sprintf "ablation:%s-p%d" app nprocs
   | Retention_row { app; nprocs; _ } -> Printf.sprintf "retention:%s-p%d" app nprocs
-  | Bench_point { app; nprocs; detect; elide; _ } ->
-      Printf.sprintf "bench:%s-p%d-%s" app nprocs
+  | Bench_point { app; nprocs; detect; elide; backend; _ } ->
+      Printf.sprintf "bench:%s-p%d-%s%s" app nprocs
         (if detect && elide then "det+elide" else if detect then "detect" else "no-detect")
+        (bk backend)
   | Equiv_combo { label } -> Printf.sprintf "equiv:%s" label
 
 let encode t = Marshal.to_string (codec_version, t) []

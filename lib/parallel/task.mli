@@ -8,17 +8,24 @@
 type t =
   | Probe of { reply : string; spin_ms : int; sleep_ms : int }
       (** test vocabulary: optionally burn/sleep, then echo [reply] *)
-  | Table1_row of { scale : string; nprocs : int; app : string }
+  | Table1_row of { scale : string; nprocs : int; app : string; backend : string }
   | Table2_row of { scale : string; app : string }
-  | Table3_row of { scale : string; nprocs : int; app : string }
-  | Figure3_row of { scale : string; nprocs : int; app : string }
-  | Figure4_point of { scale : string; nprocs : int; app : string }
+  | Table3_row of { scale : string; nprocs : int; app : string; backend : string }
+  | Figure3_row of { scale : string; nprocs : int; app : string; backend : string }
+  | Figure4_point of { scale : string; nprocs : int; app : string; backend : string }
   | Figure5 of { protocol : string }
   | Protocol_row of { scale : string; nprocs : int; app : string; protocol : string }
   | Fault_app_sweep of { scale : string; nprocs : int; drops : float list; app : string }
   | Ablation_row of { scale : string; nprocs : int; app : string }
   | Retention_row of { scale : string; nprocs : int; app : string }
-  | Bench_point of { scale : string; nprocs : int; detect : bool; elide : bool; app : string }
+  | Bench_point of {
+      scale : string;
+      nprocs : int;
+      detect : bool;
+      elide : bool;
+      app : string;
+      backend : string;
+    }
   | Equiv_combo of { label : string }
 
 val codec_version : int

@@ -26,6 +26,16 @@ type t = {
   fragment_overhead_bytes : int;  (* per-fragment header *)
   page_size : int;  (* bytes; DECstation pages were large, we default 4096 *)
   word_size : int;  (* bytes per word *)
+  (* snooping-bus cache backends (lib/cc): a bus transaction costs
+     arbitration plus per-word transfer plus the supplier's latency
+     (memory or a cache-to-cache forward); these are orders of magnitude
+     below the DSM message costs above, which is exactly the CC-vs-DSM
+     separation the bench pipeline measures *)
+  cache_hit_ns : float;  (* L1 hit, charged on every cached access *)
+  bus_arb_ns : float;  (* per-transaction arbitration + address phase *)
+  bus_word_ns : float;  (* per-word data transfer on the bus *)
+  bus_mem_ns : float;  (* memory access latency behind the bus *)
+  bus_c2c_ns : float;  (* cache-to-cache supply latency *)
 }
 
 let default =
@@ -49,6 +59,11 @@ let default =
     fragment_overhead_bytes = 24;
     page_size = 4096;
     word_size = 8;
+    cache_hit_ns = 2.0;
+    bus_arb_ns = 24.0;
+    bus_word_ns = 8.0;
+    bus_mem_ns = 180.0;
+    bus_c2c_ns = 60.0;
   }
 
 let words_per_page t = t.page_size / t.word_size

@@ -24,6 +24,12 @@ type t = {
   fragment_overhead_bytes : int;
   page_size : int;
   word_size : int;
+  cache_hit_ns : float;
+      (** snooping-bus backends: L1 hit, charged on every cached access *)
+  bus_arb_ns : float;  (** per-transaction arbitration + address phase *)
+  bus_word_ns : float;  (** per-word data transfer on the bus *)
+  bus_mem_ns : float;  (** memory access latency behind the bus *)
+  bus_c2c_ns : float;  (** cache-to-cache supply latency *)
 }
 
 val default : t

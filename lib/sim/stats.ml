@@ -58,6 +58,20 @@ type t = {
   mutable races_reported : int;
   mutable site_entries : int;  (* retained (word, site) records (section 6.1) *)
   mutable elided_checks : int;  (* runtime checks skipped at statically race-free sites *)
+  (* snooping-bus cache backends (lib/cc); all zero under the DSM cluster *)
+  mutable bus_transactions : int;  (* every arbitration-winning transaction *)
+  mutable bus_reads : int;  (* read-miss line fills (BusRd) *)
+  mutable bus_read_x : int;  (* write-miss fills with invalidation (BusRdX) *)
+  mutable bus_upgrades : int;  (* S->M ownership upgrades, no data (BusUpgr) *)
+  mutable bus_updates : int;  (* Dragon word broadcasts (BusUpd) *)
+  mutable bus_writebacks : int;  (* dirty-line flushes to memory *)
+  mutable bus_syncs : int;  (* lock/barrier read-modify-writes on the bus *)
+  mutable bus_words : int;  (* data words moved over the bus *)
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable cache_evictions : int;  (* valid lines displaced by a fill *)
+  mutable invalidations : int;  (* remote copies killed by BusRdX/BusUpgr *)
+  mutable updates_applied : int;  (* remote copies refreshed by BusUpd *)
   charges : float array;  (* simulated ns per overhead category *)
 }
 
@@ -98,6 +112,19 @@ let create () =
     races_reported = 0;
     site_entries = 0;
     elided_checks = 0;
+    bus_transactions = 0;
+    bus_reads = 0;
+    bus_read_x = 0;
+    bus_upgrades = 0;
+    bus_updates = 0;
+    bus_writebacks = 0;
+    bus_syncs = 0;
+    bus_words = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    cache_evictions = 0;
+    invalidations = 0;
+    updates_applied = 0;
     charges = Array.make (List.length all_categories) 0.0;
   }
 
@@ -134,6 +161,13 @@ let pp ppf t =
     t.lock_acquires t.barriers t.races_reported;
   if t.elided_checks > 0 then
     Format.fprintf ppf "@ elided checks: %d" t.elided_checks;
+  if t.bus_transactions > 0 then
+    Format.fprintf ppf
+      "@ bus: %d transactions (%d rd, %d rdx, %d upgr, %d upd, %d wb, %d sync), %d words@ \
+       cache: %d hits, %d misses, %d evictions, %d invalidations, %d updates applied"
+      t.bus_transactions t.bus_reads t.bus_read_x t.bus_upgrades t.bus_updates
+      t.bus_writebacks t.bus_syncs t.bus_words t.cache_hits t.cache_misses
+      t.cache_evictions t.invalidations t.updates_applied;
   if transport_active t then
     Format.fprintf ppf
       "@ transport: %d retransmits (%d timeouts), %d dropped, %d duplicated, %d dup-suppressed, \

@@ -52,6 +52,20 @@ type t = {
   mutable site_entries : int;
   mutable elided_checks : int;
       (** runtime checks skipped at statically race-free sites *)
+  mutable bus_transactions : int;
+      (** snooping-bus backends: every arbitration-winning transaction *)
+  mutable bus_reads : int;  (** read-miss line fills (BusRd) *)
+  mutable bus_read_x : int;  (** write-miss fills with invalidation (BusRdX) *)
+  mutable bus_upgrades : int;  (** S->M ownership upgrades, no data (BusUpgr) *)
+  mutable bus_updates : int;  (** Dragon word broadcasts (BusUpd) *)
+  mutable bus_writebacks : int;  (** dirty-line flushes to memory *)
+  mutable bus_syncs : int;  (** lock/barrier read-modify-writes on the bus *)
+  mutable bus_words : int;  (** data words moved over the bus *)
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable cache_evictions : int;  (** valid lines displaced by a fill *)
+  mutable invalidations : int;  (** remote copies killed by BusRdX/BusUpgr *)
+  mutable updates_applied : int;  (** remote copies refreshed by BusUpd *)
   charges : float array;
 }
 

@@ -175,6 +175,11 @@ let emit_event e ~time (event : Event.t) =
         instant e ~tid:proc ~time ~name:"interval close"
           (args "{\"index\":%d,\"epoch\":%d,\"writes\":%d,\"reads\":%d}" index epoch
              (List.length write_pages) (List.length read_pages))
+  | Event.Bus { proc; kind; line } ->
+      if proc < e.nprocs then
+        instant e ~tid:proc ~time
+          ~name:(Printf.sprintf "bus %s" (Event.bus_kind_name kind))
+          (args "{\"line\":%d}" line)
   | Event.Check_entry { a; b; pages } ->
       instant e ~tid:(min a.Proto.Interval.proc (e.nprocs - 1)) ~time ~name:"check"
         (args "{\"a\":\"%d.%d\",\"b\":\"%d.%d\",\"pages\":%d}" a.Proto.Interval.proc

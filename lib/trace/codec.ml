@@ -18,10 +18,15 @@
    - v3: instrumentation-elision flag [m_elide]. Only the flag is
      stored, not the site set: the set is a pure function of the app's
      binary, so replay re-derives it and necessarily agrees with the
-     recording build. Decoding an older log reads [m_elide = false]. *)
+     recording build. Decoding an older log reads [m_elide = false].
+   - v4: backend id [m_backend] ("lrc", "mesi", "dragon", ...) plus the
+     cache geometry [m_cc_line_bytes]/[m_cc_sets]/[m_cc_ways] the
+     snooping-bus backends need to reproduce a run, and the Bus event
+     (tag 22). Older logs decode as backend "lrc" with the default
+     geometry. *)
 
 let magic = "CVMT"
-let version = 3
+let version = 4
 let min_version = 1
 
 type transport_meta = {
@@ -53,6 +58,10 @@ type meta = {
   m_watchdog_ns : int option;
   m_gc_epochs : int option;
   m_elide : bool;  (* elide checks at statically race-free sites (v3+) *)
+  m_backend : string;  (* coherence backend id, "lrc" before v4 *)
+  m_cc_line_bytes : int;  (* cache geometry for the bus backends (v4+) *)
+  m_cc_sets : int;
+  m_cc_ways : int;
 }
 
 (* The transport defaults that were current while v1 was the format:
@@ -190,7 +199,7 @@ let get_transport c =
   let tm_ack_bytes = get_varint c in
   { tm_initial_rto_ns; tm_max_rto_ns; tm_max_retries; tm_header_bytes; tm_ack_bytes }
 
-(* always writes the current (v3) layout *)
+(* always writes the current (v4) layout *)
 let put_meta buf m =
   put_string buf m.m_app;
   put_string buf m.m_scale;
@@ -217,7 +226,11 @@ let put_meta buf m =
   put_opt buf put_transport m.m_transport;
   put_opt buf put_varint m.m_watchdog_ns;
   put_opt buf put_varint m.m_gc_epochs;
-  put_bool buf m.m_elide
+  put_bool buf m.m_elide;
+  put_string buf m.m_backend;
+  put_varint buf m.m_cc_line_bytes;
+  put_varint buf m.m_cc_sets;
+  put_varint buf m.m_cc_ways
 
 let get_meta ~version c =
   let m_app = get_string c in
@@ -266,6 +279,15 @@ let get_meta ~version c =
       (transport, watchdog, gc_epochs)
   in
   let m_elide = if version >= 3 then get_bool c else false in
+  let m_backend, m_cc_line_bytes, m_cc_sets, m_cc_ways =
+    if version >= 4 then
+      let backend = get_string c in
+      let line_bytes = get_varint c in
+      let sets = get_varint c in
+      let ways = get_varint c in
+      (backend, line_bytes, sets, ways)
+    else ("lrc", 64, 64, 2)
+  in
   {
     m_app;
     m_scale;
@@ -287,6 +309,10 @@ let get_meta ~version c =
     m_watchdog_ns;
     m_gc_epochs;
     m_elide;
+    m_backend;
+    m_cc_line_bytes;
+    m_cc_sets;
+    m_cc_ways;
   }
 
 (* --- events --- *)
@@ -414,6 +440,18 @@ let put_event buf (e : Event.t) =
       put_varint buf checksum;
       put_varint buf sim_time_ns;
       put_varint buf races
+  | Event.Bus { proc; kind; line } ->
+      tag 22;
+      put_varint buf proc;
+      Buffer.add_char buf
+        (match kind with
+        | Event.Bus_rd -> '\000'
+        | Event.Bus_rdx -> '\001'
+        | Event.Bus_upgr -> '\002'
+        | Event.Bus_upd -> '\003'
+        | Event.Bus_wb -> '\004'
+        | Event.Bus_sync -> '\005');
+      put_varint buf line
 
 let get_event c : Event.t =
   match byte c with
@@ -535,6 +573,20 @@ let get_event c : Event.t =
       let sim_time_ns = get_varint c in
       let races = get_varint c in
       Event.Run_end { checksum; sim_time_ns; races }
+  | 22 ->
+      let proc = get_varint c in
+      let kind =
+        match byte c with
+        | 0 -> Event.Bus_rd
+        | 1 -> Event.Bus_rdx
+        | 2 -> Event.Bus_upgr
+        | 3 -> Event.Bus_upd
+        | 4 -> Event.Bus_wb
+        | 5 -> Event.Bus_sync
+        | k -> fail "bad bus kind %d at byte %d" k c.pos
+      in
+      let line = get_varint c in
+      Event.Bus { proc; kind; line }
   | k -> fail "unknown event tag %d at byte %d" k (c.pos - 1)
 
 (* --- incremental encoder --- *)

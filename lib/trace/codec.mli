@@ -8,7 +8,7 @@
 val magic : string
 
 val version : int
-(** The format version this build writes (v3). *)
+(** The format version this build writes (v4). *)
 
 val min_version : int
 (** The oldest format version this build still decodes (v1: no
@@ -49,6 +49,12 @@ type meta = {
       (** elide checks at statically race-free sites; [false] before v3.
           Only the flag is stored — the site set is re-derived from the
           app's binary at replay time *)
+  m_backend : string;
+      (** coherence backend id ("lrc", "mesi", "dragon"); ["lrc"] before
+          v4 — every pre-v4 log was recorded by the DSM cluster *)
+  m_cc_line_bytes : int;  (** cache geometry for the bus backends (v4+) *)
+  m_cc_sets : int;
+  m_cc_ways : int;
 }
 
 val v1_transport_defaults : transport_meta

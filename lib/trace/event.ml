@@ -9,6 +9,14 @@ type fault_outcome =
   | Dropped  (* lost to the drop probability *)
   | Blackholed  (* swallowed by a partition window *)
 
+type bus_kind =
+  | Bus_rd  (* read-miss line fill *)
+  | Bus_rdx  (* write-miss fill with invalidation *)
+  | Bus_upgr  (* ownership upgrade, no data *)
+  | Bus_upd  (* Dragon word broadcast *)
+  | Bus_wb  (* dirty-line writeback *)
+  | Bus_sync  (* lock/barrier read-modify-write *)
+
 type t =
   (* wire + transport *)
   | Msg_send of { src : int; dst : int; kind : string; bytes : int }
@@ -38,6 +46,10 @@ type t =
       write_pages : int list;
       read_pages : int list;
     }
+  (* snooping-bus cache backends *)
+  | Bus of { proc : int; kind : bus_kind; line : int }
+      (* one bus transaction won by [proc]; [line] is the cache-line
+         number, or the lock/barrier id for [Bus_sync] *)
   (* detection *)
   | Check_entry of {
       a : Proto.Interval.id;
@@ -71,6 +83,14 @@ let pp_pages ppf pages =
        ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',')
        Format.pp_print_int)
     pages
+
+let bus_kind_name = function
+  | Bus_rd -> "rd"
+  | Bus_rdx -> "rdx"
+  | Bus_upgr -> "upgr"
+  | Bus_upd -> "upd"
+  | Bus_wb -> "wb"
+  | Bus_sync -> "sync"
 
 let pp ppf = function
   | Msg_send { src; dst; kind; bytes } ->
@@ -110,6 +130,10 @@ let pp ppf = function
   | Interval_close { proc; index; epoch; write_pages; read_pages } ->
       Format.fprintf ppf "interval-close %a epoch %d w=%a r=%a" Proto.Interval.pp_id
         { Proto.Interval.proc; index } epoch pp_pages write_pages pp_pages read_pages
+  | Bus { proc; kind; line } ->
+      Format.fprintf ppf "bus p%d %s %s %d" proc (bus_kind_name kind)
+        (match kind with Bus_sync -> "sync" | _ -> "line")
+        line
   | Check_entry { a; b; pages } ->
       Format.fprintf ppf "check %a vs %a pages %a" Proto.Interval.pp_id a
         Proto.Interval.pp_id b pp_pages pages
@@ -141,6 +165,7 @@ let tag = function
   | Barrier_leave _ -> "barrier-leave"
   | Interval_open _ -> "interval-open"
   | Interval_close _ -> "interval-close"
+  | Bus _ -> "bus"
   | Check_entry _ -> "check-entry"
   | Race _ -> "race"
   | Run_end _ -> "run-end"

@@ -9,6 +9,14 @@ type fault_outcome =
   | Dropped  (** lost to the drop probability *)
   | Blackholed  (** swallowed by a partition window *)
 
+type bus_kind =
+  | Bus_rd  (** read-miss line fill *)
+  | Bus_rdx  (** write-miss fill with invalidation *)
+  | Bus_upgr  (** ownership upgrade, no data *)
+  | Bus_upd  (** Dragon word broadcast *)
+  | Bus_wb  (** dirty-line writeback *)
+  | Bus_sync  (** lock/barrier read-modify-write *)
+
 type t =
   | Msg_send of { src : int; dst : int; kind : string; bytes : int }
   | Msg_deliver of { src : int; dst : int; kind : string; bytes : int }
@@ -35,6 +43,9 @@ type t =
       write_pages : int list;
       read_pages : int list;
     }
+  | Bus of { proc : int; kind : bus_kind; line : int }
+      (** one snooping-bus transaction won by [proc]; [line] is the
+          cache-line number, or the lock/barrier id for [Bus_sync] *)
   | Check_entry of {
       a : Proto.Interval.id;
       b : Proto.Interval.id;
@@ -44,6 +55,9 @@ type t =
   | Run_end of { checksum : int; sim_time_ns : int; races : int }
       (** terminal event: final memory checksum, total simulated time, and
           deduplicated race count *)
+
+val bus_kind_name : bus_kind -> string
+(** Short stable name ("rd", "rdx", "upgr", "upd", "wb", "sync"). *)
 
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

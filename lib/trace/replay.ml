@@ -36,7 +36,8 @@ let proc_of (e : Event.t) =
   | Event.Barrier_enter { proc; _ }
   | Event.Barrier_leave { proc; _ }
   | Event.Interval_open { proc; _ }
-  | Event.Interval_close { proc; _ } ->
+  | Event.Interval_close { proc; _ }
+  | Event.Bus { proc; _ } ->
       Some proc
   | Event.Msg_send { src; _ } -> Some src
   | Event.Msg_deliver { dst; _ } -> Some dst

@@ -10,9 +10,9 @@ let contains haystack needle =
   go 0
 
 let entry ?(wall = 1.0) ?(races = 3) ?(checksum = 0xbeef) ?(sim = 5_000) ?(bytes = 4096)
-    ?(nprocs = 8) ?(extras = []) name =
+    ?(nprocs = 8) ?(backend = "lrc") ?(extras = []) name =
   {
-    Compare_core.key = (name, "small", nprocs, true, false, "single-writer");
+    Compare_core.key = (name, "small", nprocs, true, false, "single-writer", backend);
     wall_s = wall;
     sim_time_ns = sim;
     races;
@@ -116,6 +116,39 @@ let test_extras_compared_only_when_shared () =
   check Alcotest.bool "shared counter still gates" false (Compare_core.passed r);
   check Alcotest.int "only the shared drift reported" 1 (List.length (fail_lines r))
 
+let test_backend_in_key () =
+  (* an entry that moved to a different backend is a different point: no
+     shared key, so the gate refuses to call the comparison clean *)
+  let baseline = [ entry ~backend:"lrc" "sor" ] in
+  let current = [ entry ~backend:"mesi" "sor" ] in
+  let r = gate baseline current in
+  check Alcotest.int "different backends never match" 0 r.Compare_core.compared;
+  (* same backend on both sides still compares *)
+  let r' = gate [ entry ~backend:"mesi" "sor" ] [ entry ~backend:"mesi" "sor" ] in
+  check Alcotest.bool "same backend compares" true (Compare_core.passed r')
+
+let test_backend_absent_defaults_lrc () =
+  (* a pre-v8 baseline has no "backend" field; it must keep matching
+     entries recorded as lrc *)
+  let json =
+    Bench_json.Obj
+      [
+        ("app", Bench_json.String "sor");
+        ("scale", Bench_json.String "small");
+        ("nprocs", Bench_json.Int 8);
+        ("detect", Bench_json.Bool true);
+        ("protocol", Bench_json.String "single-writer");
+        ("wall_s", Bench_json.Float 1.0);
+        ("sim_time_ns", Bench_json.Int 5000);
+        ("races", Bench_json.Int 3);
+        ("mem_checksum", Bench_json.Int 48879);
+        ("bytes", Bench_json.Int 4096);
+      ]
+  in
+  let e = Compare_core.entry_of_json json in
+  let _, _, _, _, _, _, backend = e.Compare_core.key in
+  check Alcotest.string "absent backend field reads as lrc" "lrc" backend
+
 let test_extras_parsed_from_json () =
   let json =
     Bench_json.Obj
@@ -182,6 +215,9 @@ let suite =
           test_every_drifted_field_reported;
         Alcotest.test_case "extras compared only when shared" `Quick
           test_extras_compared_only_when_shared;
+        Alcotest.test_case "backend part of the key" `Quick test_backend_in_key;
+        Alcotest.test_case "absent backend defaults to lrc" `Quick
+          test_backend_absent_defaults_lrc;
         Alcotest.test_case "extras parsed from JSON" `Quick test_extras_parsed_from_json;
         Alcotest.test_case "load failures normalize to Failure" `Quick
           test_load_failures_are_failure;

@@ -1,0 +1,233 @@
+(* The cache-coherent bus backends (MESI, Dragon) against the same bar
+   the LRC protocols clear: the online detector must agree with the
+   offline happens-before oracle on every protocol-stress kernel, and
+   the set of racy addresses an app exhibits must not depend on which
+   coherence backend executed it — races are a property of the program,
+   not of the machine underneath. *)
+
+let check = Alcotest.check
+
+let cc_backends = [ "mesi"; "dragon" ]
+
+let addr_list =
+  Alcotest.list (Alcotest.testable (fun ppf a -> Format.fprintf ppf "0x%x" a) ( = ))
+
+(* ------------------------------------------------------------------ *)
+(* Kernels: detector == oracle under both bus protocols, with the same
+   pointed expectations suite_litmus pins for the LRC protocols. *)
+
+let test_kernel_matches_oracle backend kernel () =
+  let outcome = Litmus.run_kernel ~backend kernel in
+  check addr_list
+    (kernel.Litmus.k_name ^ ": detector agrees with oracle")
+    outcome.Litmus.oracle outcome.Litmus.detected
+
+let test_false_sharing_clean backend () =
+  let outcome = Litmus.run_kernel ~backend Litmus.false_sharing_writers in
+  check addr_list "word-granular detection sees through line-granular sharing" []
+    outcome.Litmus.detected
+
+let test_lock_kernels_clean backend () =
+  List.iter
+    (fun kernel ->
+      let outcome = Litmus.run_kernel ~backend kernel in
+      check addr_list (kernel.Litmus.k_name ^ ": lock chains order everything") []
+        outcome.Litmus.detected)
+    [ Litmus.lock_handoff_chain; Litmus.lock_chained_publish ]
+
+let test_invalid_page_notices_clean backend () =
+  let outcome = Litmus.run_kernel ~backend Litmus.write_notice_invalid_page in
+  check addr_list "stacked invalidations produce no races" [] outcome.Litmus.detected
+
+let test_racy_kernels_report backend () =
+  List.iter
+    (fun kernel ->
+      let outcome = Litmus.run_kernel ~backend kernel in
+      check Alcotest.int
+        (kernel.Litmus.k_name ^ ": exactly one racy address")
+        1
+        (List.length outcome.Litmus.detected))
+    [
+      Litmus.diff_cache_reuse;
+      Litmus.gc_interval_rerequest;
+      Litmus.true_sharing_overlap;
+      Litmus.multi_reader_race;
+      Litmus.partially_locked;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Protocol character: the same kernel moves data differently under
+   write-invalidate and write-update, and each backend's signature
+   counters must show it. *)
+
+let kernel_stats backend kernel =
+  let cfg =
+    kernel.Litmus.k_cfg
+      { Coherence.Config.default with Coherence.Config.backend; detect = true }
+  in
+  let machine =
+    Backends.create ~cfg ~nprocs:kernel.Litmus.k_nprocs ~pages:kernel.Litmus.k_pages ()
+  in
+  let base =
+    machine.Coherence.Backend.alloc (kernel.Litmus.k_words * 8)
+      ~name:("kernel:" ^ kernel.Litmus.k_name)
+  in
+  machine.Coherence.Backend.run (fun node -> kernel.Litmus.k_body ~base node);
+  machine.Coherence.Backend.stats
+
+let test_mesi_invalidates () =
+  let stats = kernel_stats "mesi" Litmus.false_sharing_writers in
+  check Alcotest.bool "bus carried transactions" true (stats.Sim.Stats.bus_transactions > 0);
+  check Alcotest.bool "sharing caused invalidations" true (stats.Sim.Stats.invalidations > 0);
+  check Alcotest.int "write-invalidate never broadcasts updates" 0
+    stats.Sim.Stats.bus_updates;
+  check Alcotest.int "no DSM messages on a bus machine" 0 stats.Sim.Stats.messages
+
+let test_dragon_updates () =
+  let stats = kernel_stats "dragon" Litmus.false_sharing_writers in
+  check Alcotest.bool "bus carried transactions" true (stats.Sim.Stats.bus_transactions > 0);
+  check Alcotest.bool "sharing caused word broadcasts" true (stats.Sim.Stats.bus_updates > 0);
+  check Alcotest.int "write-update never invalidates" 0 stats.Sim.Stats.invalidations;
+  check Alcotest.int "no DSM messages on a bus machine" 0 stats.Sim.Stats.messages
+
+(* ------------------------------------------------------------------ *)
+(* Registry and configuration edges. *)
+
+let test_registry () =
+  check (Alcotest.list Alcotest.string) "registry order" [ "lrc"; "mesi"; "dragon" ]
+    Backends.all;
+  List.iter
+    (fun name ->
+      check Alcotest.bool (name ^ " known") true (Backends.known name);
+      check Alcotest.bool (name ^ " described") true (Backends.describe name <> None))
+    Backends.all;
+  check Alcotest.bool "unknown name rejected" false (Backends.known "mosi");
+  Alcotest.check_raises "create rejects unknown backend"
+    (Invalid_argument "unknown backend \"mosi\" (available: lrc, mesi, dragon)")
+    (fun () ->
+      ignore
+        (Backends.create
+           ~cfg:{ Coherence.Config.default with Coherence.Config.backend = "mosi" }
+           ~nprocs:2 ~pages:2 ()))
+
+let test_cc_rejects_faults () =
+  let cfg =
+    {
+      Coherence.Config.default with
+      Coherence.Config.backend = "mesi";
+      fault = { Sim.Fault.none with Sim.Fault.drop = 0.5 };
+    }
+  in
+  Alcotest.check_raises "bus backends have no lossy wire"
+    (Invalid_argument
+       "Machine.create: fault injection needs the DSM backend (a snooping bus has no \
+        lossy wire)") (fun () -> ignore (Backends.create ~cfg ~nprocs:2 ~pages:2 ()))
+
+let test_cc_rejects_bad_line () =
+  let cfg =
+    {
+      Coherence.Config.default with
+      Coherence.Config.backend = "dragon";
+      cc_line_bytes = 48;
+    }
+  in
+  Alcotest.check_raises "line size must be a power of two"
+    (Invalid_argument
+       "Machine.create: cc_line_bytes must be a power of two >= the word size")
+    (fun () -> ignore (Backends.create ~cfg ~nprocs:2 ~pages:2 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Property: for barrier-structured SPMD programs, the racy-address set
+   is backend-independent. A random program writes random words in
+   random barrier-separated rounds; whatever the machine underneath,
+   the same address set must fall out of detection. *)
+
+let random_program ~rounds ~words seed =
+  (* deterministic per-(seed, round, proc) access list: a few reads and
+     writes into a small shared array, some racy, some disjoint *)
+  let acc = Hashtbl.hash in
+  fun (node : Coherence.Node.t) base ->
+    let pid = node.Coherence.Node.id in
+    for round = 0 to rounds - 1 do
+      for k = 0 to 3 do
+        let h = acc (seed, round, pid, k) in
+        let word = h mod words in
+        let addr = base + (8 * word) in
+        if h land 16 = 0 then
+          node.Coherence.Node.write_word ~site:"prop:w" addr (Int64.of_int h)
+        else ignore (node.Coherence.Node.read_word ~site:"prop:r" addr)
+      done;
+      node.Coherence.Node.barrier ()
+    done
+
+let racy_addrs_under ~backend ~nprocs ~words ~rounds seed =
+  let cfg =
+    {
+      Coherence.Config.default with
+      Coherence.Config.backend;
+      detect = true;
+      record_trace = true;
+    }
+  in
+  let machine = Backends.create ~cfg ~nprocs ~pages:2 () in
+  let base = machine.Coherence.Backend.alloc (words * 8) ~name:"prop" in
+  let body = random_program ~rounds ~words seed in
+  machine.Coherence.Backend.run (fun node -> body node base);
+  let detected =
+    machine.Coherence.Backend.races ()
+    |> List.map (fun (r : Proto.Race.t) -> r.Proto.Race.addr)
+    |> List.sort_uniq compare
+  in
+  let oracle =
+    Racedetect.Oracle.racy_addrs ~nprocs (machine.Coherence.Backend.trace ())
+  in
+  (detected, oracle)
+
+let prop_backend_independent =
+  QCheck.Test.make ~count:30
+    ~name:"racy-address set is backend-independent (and = oracle) for SPMD programs"
+    QCheck.(quad (int_range 2 4) (int_range 4 16) (int_range 1 4) small_int)
+    (fun (nprocs, words, rounds, seed) ->
+      let runs =
+        List.map
+          (fun backend -> racy_addrs_under ~backend ~nprocs ~words ~rounds seed)
+          Backends.all
+      in
+      List.for_all
+        (fun (detected, oracle) ->
+          detected = oracle && detected = fst (List.hd runs))
+        runs)
+
+let suite =
+  [
+    ( "cc:kernels",
+      List.concat_map
+        (fun backend ->
+          List.map
+            (fun (kernel : Litmus.kernel) ->
+              Alcotest.test_case
+                (Printf.sprintf "%s %s = oracle" backend kernel.Litmus.k_name)
+                `Quick
+                (test_kernel_matches_oracle backend kernel))
+            Litmus.kernels
+          @ [
+              Alcotest.test_case (backend ^ " false sharing clean") `Quick
+                (test_false_sharing_clean backend);
+              Alcotest.test_case (backend ^ " lock kernels clean") `Quick
+                (test_lock_kernels_clean backend);
+              Alcotest.test_case (backend ^ " invalid-page notices clean") `Quick
+                (test_invalid_page_notices_clean backend);
+              Alcotest.test_case (backend ^ " racy kernels report") `Quick
+                (test_racy_kernels_report backend);
+            ])
+        cc_backends );
+    ( "cc:machine",
+      [
+        Alcotest.test_case "MESI invalidates, never updates" `Quick test_mesi_invalidates;
+        Alcotest.test_case "Dragon updates, never invalidates" `Quick test_dragon_updates;
+        Alcotest.test_case "backend registry" `Quick test_registry;
+        Alcotest.test_case "faults rejected" `Quick test_cc_rejects_faults;
+        Alcotest.test_case "bad line size rejected" `Quick test_cc_rejects_bad_line;
+        QCheck_alcotest.to_alcotest prop_backend_independent;
+      ] );
+  ]

@@ -28,6 +28,10 @@ let sample_meta =
     m_watchdog_ns = Some 200_000_000;
     m_gc_epochs = Some 2;
     m_elide = true;
+    m_backend = "lrc";
+    m_cc_line_bytes = 64;
+    m_cc_sets = 64;
+    m_cc_ways = 2;
   }
 
 (* ------------------------------------------------------------------ *)

@@ -19,9 +19,14 @@ test:
 # races and survive retransmission), record->replay smoke tests
 # (a lossy run's trace log and an interval-GC run's trace log must both
 # verify cleanly on re-execution, with the identical race set and
-# memory checksum), a cache-coherent-backend smoke (an app run under
-# --backend mesi cross-checked against the offline oracle, plus a
-# MESI record->replay round-trip), and the benchmark regression gate: a CI-sized sweep
+# memory checksum), cache-coherent-backend smokes (app runs under
+# --backend mesi AND --backend dragon cross-checked against the offline
+# oracle, plus record->replay round-trips through both bus trace
+# paths), an adversarial-workload smoke (a corpus trace file run
+# end-to-end via --trace-file, and a short differential fuzz: seeded
+# random programs, detector vs oracle vs by-construction ground truth
+# across every backend — the long nightly range lives in CI's fuzz
+# job), and the benchmark regression gate: a CI-sized sweep
 # whose deterministic outcomes (races, checksums, simulated time, wire
 # bytes) must match the checked-in baseline exactly. The wall-clock
 # threshold is loose (50%) because the gate runs on heterogeneous
@@ -54,6 +59,11 @@ check:
 	dune exec bin/cvm_race.exe -- run fft --scale small -p 4 --backend mesi --oracle
 	dune exec bin/cvm_race.exe -- record sor --scale small -p 4 --backend mesi -o _build/sor_mesi.cvmt
 	dune exec bin/cvm_race.exe -- replay _build/sor_mesi.cvmt
+	dune exec bin/cvm_race.exe -- run fft --scale small -p 4 --backend dragon --oracle
+	dune exec bin/cvm_race.exe -- record sor --scale small -p 4 --backend dragon -o _build/sor_dragon.cvmt
+	dune exec bin/cvm_race.exe -- replay _build/sor_dragon.cvmt
+	dune exec bin/cvm_race.exe -- run --trace-file test/corpus/mp-unsync.trace --oracle
+	dune exec bin/cvm_race.exe -- fuzz --seed 1 --count 15 --json _build/fuzz_smoke.json
 	dune exec bench/main.exe -- --small --jobs 1 sweep --json _build/bench_ci.json
 	dune exec bench/compare.exe -- bench/baseline_small.json _build/bench_ci.json --threshold 50
 	dune exec bench/main.exe -- --small --jobs 1 --procs 4 sweep --json _build/bench_j1.json

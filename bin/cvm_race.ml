@@ -19,6 +19,12 @@
      analyze run only the static elimination pass: classification,
              redundant-check batching and lockset lint per application
      litmus  explore memory-model litmus tests under a protocol
+     fuzz    differential fuzzing: seeded random programs with
+             by-construction ground truth, detector vs oracle across
+             every backend, mismatches shrunk to trace-file repros
+
+   `run --trace-file FILE` executes an external per-proc access/sync
+   stream (docs/FUZZING.md has the grammar) instead of a named app.
 *)
 
 open Cmdliner
@@ -26,6 +32,18 @@ open Cmdliner
 let app_arg =
   let doc = "Application to run: fft, sor, tsp or water." in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"APP" ~doc)
+
+let app_or_trace_arg =
+  let doc = "Application to run: fft, sor, tsp or water (or use $(b,--trace-file))." in
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"APP" ~doc)
+
+let trace_file_arg =
+  let doc =
+    "Run a workload trace file (per-processor access/sync streams; grammar in \
+     docs/FUZZING.md) instead of a named application. The processor count comes from the \
+     file's $(b,procs) directive; $(b,--procs) is ignored."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-file" ] ~docv:"FILE" ~doc)
 
 let procs_arg =
   let doc = "Number of simulated processors." in
@@ -271,11 +289,36 @@ let print_outcome (outcome : Core.Driver.outcome) =
   Core.Report.races ~symtab:outcome.Core.Driver.symtab ppf outcome.Core.Driver.races;
   Format.fprintf ppf "@[<v 2>statistics:@ %a@]@." Sim.Stats.pp outcome.Core.Driver.stats
 
+(* resolve the run target: a registry application, or a trace-file
+   workload (which fixes its own processor count) *)
+let resolve_workload ~scale ~procs app_name trace_file =
+  match (trace_file, app_name) with
+  | Some path, _ -> (
+      if app_name <> None then begin
+        Format.eprintf "cannot give both APP and --trace-file@.";
+        exit 2
+      end;
+      try
+        let program = Workload.Trace_file.parse_file path in
+        (Workload.Program.to_app program, program.Workload.Program.nprocs)
+      with
+      | Workload.Trace_file.Parse_error { line; msg } ->
+          if line > 0 then Format.eprintf "%s:%d: %s@." path line msg
+          else Format.eprintf "%s: %s@." path msg;
+          exit 2
+      | Sys_error msg ->
+          Format.eprintf "%s@." msg;
+          exit 2)
+  | None, Some name -> (Apps.Registry.make ~scale name, procs)
+  | None, None ->
+      Format.eprintf "give an APP name or --trace-file FILE@.";
+      exit 2
+
 let run_command =
-  let run app_name procs scale backend protocol no_detect first_race_only
+  let run app_name trace_file procs scale backend protocol no_detect first_race_only
       stores_from_diffs gc_epochs elide slowdown oracle drop dup reorder partitions
       net_seed watchdog_ms max_retries transport =
-    let app = Apps.Registry.make ~scale app_name in
+    let app, procs = resolve_workload ~scale ~procs app_name trace_file in
     let cfg =
       config ~backend ~protocol ~no_detect ~first_race_only ~stores_from_diffs ~oracle
         ~gc_epochs ~elide
@@ -297,9 +340,7 @@ let run_command =
       let outcome = Core.Driver.run ~cfg ~app ~nprocs:procs () in
       print_outcome outcome;
       if oracle then begin
-        let expected =
-          Racedetect.Oracle.racy_addrs ~nprocs:procs outcome.Core.Driver.trace
-        in
+        let expected = Core.Driver.oracle_addrs outcome in
         let detected = Core.Driver.racy_addrs outcome in
         if expected = detected then Format.fprintf ppf "oracle cross-check: agreement@."
         else begin
@@ -310,11 +351,11 @@ let run_command =
       end
     end
   in
-  let run app_name procs scale backend protocol no_detect first_race_only
+  let run app_name trace_file procs scale backend protocol no_detect first_race_only
       stores_from_diffs gc_epochs elide slowdown oracle drop dup reorder partitions
       net_seed watchdog_ms max_retries transport =
     try
-      run app_name procs scale backend protocol no_detect first_race_only
+      run app_name trace_file procs scale backend protocol no_detect first_race_only
         stores_from_diffs gc_epochs elide slowdown oracle drop dup reorder partitions
         net_seed watchdog_ms max_retries transport
     with Sim.Engine.Deadlock diagnosis ->
@@ -322,12 +363,16 @@ let run_command =
       exit 2
   in
   let term =
-    Term.(const run $ app_arg $ procs_arg $ scale_arg $ backend_arg $ protocol_arg
-        $ no_detect_arg $ first_race_arg $ diff_stores_arg $ gc_epochs_arg $ elide_arg
-        $ slowdown_arg $ oracle_arg $ drop_arg $ dup_arg $ reorder_arg $ partition_arg
-        $ net_seed_arg $ watchdog_arg $ max_retries_arg $ transport_arg)
+    Term.(const run $ app_or_trace_arg $ trace_file_arg $ procs_arg $ scale_arg
+        $ backend_arg $ protocol_arg $ no_detect_arg $ first_race_arg $ diff_stores_arg
+        $ gc_epochs_arg $ elide_arg $ slowdown_arg $ oracle_arg $ drop_arg $ dup_arg
+        $ reorder_arg $ partition_arg $ net_seed_arg $ watchdog_arg $ max_retries_arg
+        $ transport_arg)
   in
-  Cmd.v (Cmd.info "run" ~doc:"Run an application under online race detection.") term
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Run an application (or a $(b,--trace-file) workload) under online race detection.")
+    term
 
 let hunt_command =
   let hunt app_name procs scale =
@@ -830,6 +875,111 @@ let litmus_command =
           coherence) under the chosen protocol.")
     term
 
+let fuzz_command =
+  let seed_arg =
+    let doc = "Base seed; program $(i,i) is drawn from (seed, i)." in
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc)
+  in
+  let count_arg =
+    let doc = "Number of programs to generate and check." in
+    Arg.(value & opt int 50 & info [ "count" ] ~docv:"N" ~doc)
+  in
+  let no_shrink_arg =
+    let doc = "Report mismatches as generated, without minimizing them." in
+    Arg.(value & flag & info [ "no-shrink" ] ~doc)
+  in
+  let repro_dir_arg =
+    let doc = "Write each mismatch's (minimized) program as a trace file under $(docv)." in
+    Arg.(value & opt (some string) None & info [ "repro-dir" ] ~docv:"DIR" ~doc)
+  in
+  let json_arg =
+    let doc = "Write the fuzz report (generator statistics and mismatches) as JSON." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let backends_arg =
+    let doc = "Comma-separated backends to cross-check (default: every registered one)." in
+    Arg.(value & opt (list string) Workload.Harness.all_backends
+        & info [ "backends" ] ~docv:"B,B,..." ~doc)
+  in
+  let fuzz seed count no_shrink repro_dir json backends =
+    List.iter
+      (fun b ->
+        if not (Backends.known b) then begin
+          Format.eprintf "unknown backend %S (available: %s)@." b
+            (String.concat ", " Backends.all);
+          exit 2
+        end)
+      backends;
+    let report =
+      Workload.Harness.fuzz ~backends ?repro_dir ~seed ~count ~shrink:(not no_shrink) ()
+    in
+    Format.fprintf ppf
+      "fuzz seed %d: %d program(s), %d event(s), %d race(s) planted, %d found, %d clean \
+       program(s), %d shrink step(s)@."
+      seed report.Workload.Harness.programs report.Workload.Harness.events
+      report.Workload.Harness.planted report.Workload.Harness.found
+      report.Workload.Harness.clean_programs report.Workload.Harness.shrink_steps;
+    List.iter
+      (fun (m : Workload.Harness.mismatch) ->
+        Format.fprintf ppf "MISMATCH [%s] %s@.%a@."
+          (Workload.Harness.kind_name m.Workload.Harness.kind)
+          m.Workload.Harness.detail Workload.Program.pp m.Workload.Harness.program)
+      report.Workload.Harness.mismatches;
+    List.iter
+      (fun path -> Format.fprintf ppf "repro -> %s@." path)
+      report.Workload.Harness.repro_files;
+    (match json with
+    | Some path ->
+        let mismatch_json (m : Workload.Harness.mismatch) =
+          Bench_json.Obj
+            [
+              ("kind", Bench_json.String (Workload.Harness.kind_name m.Workload.Harness.kind));
+              ("detail", Bench_json.String m.Workload.Harness.detail);
+              ( "program",
+                Bench_json.String
+                  (Workload.Trace_file.to_string m.Workload.Harness.program) );
+              ("events", Bench_json.Int (Workload.Program.size m.Workload.Harness.program));
+            ]
+        in
+        Bench_json.to_file path
+          (Bench_json.Obj
+             [
+               ("schema", Bench_json.String "cvm-race-fuzz/1");
+               ("seed", Bench_json.Int seed);
+               ("count", Bench_json.Int count);
+               ("backends", Bench_json.List (List.map (fun b -> Bench_json.String b) backends));
+               ("programs", Bench_json.Int report.Workload.Harness.programs);
+               ("events", Bench_json.Int report.Workload.Harness.events);
+               ("races_planted", Bench_json.Int report.Workload.Harness.planted);
+               ("races_found", Bench_json.Int report.Workload.Harness.found);
+               ("clean_programs", Bench_json.Int report.Workload.Harness.clean_programs);
+               ("shrink_steps", Bench_json.Int report.Workload.Harness.shrink_steps);
+               ( "mismatches",
+                 Bench_json.List
+                   (List.map mismatch_json report.Workload.Harness.mismatches) );
+               ( "repro_files",
+                 Bench_json.List
+                   (List.map
+                      (fun p -> Bench_json.String p)
+                      report.Workload.Harness.repro_files) );
+             ]);
+        Format.fprintf ppf "fuzz report JSON -> %s@." path
+    | None -> ());
+    if report.Workload.Harness.mismatches <> [] then exit 1
+  in
+  let term =
+    Term.(const fuzz $ seed_arg $ count_arg $ no_shrink_arg $ repro_dir_arg $ json_arg
+        $ backends_arg)
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: generate seeded random concurrent programs with \
+          by-construction ground-truth racy sets, run the online detector (with and \
+          without elision) against the offline oracle across every backend, and shrink \
+          any mismatch to a minimized trace-file repro. Exits nonzero on any mismatch.")
+    term
+
 let () =
   (* Spawned as a remote-executor worker? Serve tasks and exit — before
      any output or argument parsing. *)
@@ -859,4 +1009,5 @@ let () =
             sweep_command;
             analyze_command;
             litmus_command;
+            fuzz_command;
           ]))

@@ -121,3 +121,6 @@ let overhead_percentages slowdown =
 
 let racy_addrs outcome =
   outcome.races |> List.map (fun (r : Proto.Race.t) -> r.addr) |> List.sort_uniq compare
+
+let oracle_addrs outcome =
+  Racedetect.Oracle.racy_addrs ~nprocs:outcome.nprocs outcome.trace

@@ -49,3 +49,9 @@ val overhead_percentages : slowdown -> (Sim.Stats.overhead_category * float) lis
 
 val racy_addrs : outcome -> int list
 (** Sorted distinct racy addresses. *)
+
+val oracle_addrs : outcome -> int list
+(** Sorted distinct racy addresses per the offline happens-before
+    oracle, replayed over [outcome.trace] — empty unless the run
+    recorded a trace ([Config.record_trace]). The differential check is
+    [racy_addrs o = oracle_addrs o]. *)

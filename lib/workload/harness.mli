@@ -1,0 +1,99 @@
+(** Differential fuzzing harness.
+
+    For every workload program the harness runs the online detector
+    with and without instrumentation elision under every coherence
+    backend, replays the recorded access trace through the independent
+    offline oracle, and requires
+
+    {v detected = oracle = ground truth, identically on every backend v}
+
+    Any violation is a {!mismatch}; internal mismatches (those
+    checkable without ground truth) are {!shrink}able to a minimized
+    reproducer, which the fuzz loop writes out as a trace file for the
+    regression corpus. *)
+
+type result = {
+  detected : int list;  (** online detector's racy words, sorted distinct *)
+  oracle : int list;  (** offline oracle's racy words, sorted distinct *)
+  checksum : int;  (** final shared-memory checksum *)
+}
+
+type runner = backend:string -> elide:bool -> Program.t -> result
+(** How the harness executes one program under one configuration.
+    Factored out so tests can plant a detector bug and watch the
+    harness catch it. *)
+
+val driver_runner : runner
+(** The real thing: {!Program.to_app} through [Core.Driver.run] with
+    detection and trace recording on, racy addresses mapped back to
+    word indices via the program's base address. *)
+
+val all_backends : string list
+(** [["lrc"; "mesi"; "dragon"]]. *)
+
+type kind =
+  | Detector_vs_oracle of { backend : string; elide : bool }
+      (** online detector disagrees with the offline oracle on one run *)
+  | Elide_dependent of { backend : string }
+      (** elision changed the detected set — unsound elision *)
+  | Backend_dependent of { backend_a : string; backend_b : string }
+      (** two backends detect different racy sets for the same program *)
+  | Ground_truth of { backend : string }
+      (** detector and oracle agree with each other but not with the
+          generator's by-construction racy set *)
+
+type mismatch = { program : Program.t; kind : kind; detail : string }
+
+val kind_name : kind -> string
+(** Stable short label ([detector-vs-oracle], [elide-dependent],
+    [backend-dependent], [ground-truth]) for reports and filenames. *)
+
+val shrinkable : kind -> bool
+(** Internal kinds are re-checkable on shrunk programs; {!Ground_truth}
+    is not (the construction argument does not survive mutation). *)
+
+val check :
+  ?backends:string list ->
+  runner:runner ->
+  ?ground_truth:int list ->
+  Program.t ->
+  mismatch option
+(** Run the full differential matrix (backends x elide) and return the
+    first violation, if any. [ground_truth] additionally pins the
+    detected set to the generator's planted racy words. *)
+
+val shrink : ?backends:string list -> runner:runner -> mismatch -> Program.t * int
+(** Greedy minimization to a fixpoint: repeatedly try dropping a whole
+    processor, a whole phase, a barrier (merging adjacent phases), or a
+    single operation (with its matching lock partner), keeping any
+    candidate on which {!check} still reports an internal mismatch.
+    Returns the minimized program and the number of successful
+    shrink steps. Bounded by an internal evaluation budget, so it
+    terminates even on pathological inputs. *)
+
+type report = {
+  programs : int;  (** programs generated and checked *)
+  events : int;  (** total events across all programs *)
+  planted : int;  (** races planted by construction *)
+  found : int;  (** planted races confirmed by the detector *)
+  clean_programs : int;  (** programs generated with no planted race *)
+  shrink_steps : int;
+  mismatches : mismatch list;  (** minimized when shrinking is on *)
+  repro_files : string list;  (** trace files written under [repro_dir] *)
+}
+
+val fuzz :
+  ?knobs:Generator.knobs ->
+  ?backends:string list ->
+  ?runner:runner ->
+  ?repro_dir:string ->
+  seed:int ->
+  count:int ->
+  shrink:bool ->
+  unit ->
+  report
+(** Generate [count] programs from [(seed, 0..count-1)]
+    ({!Generator.generate_seeded}), {!check} each against its ground
+    truth, {!shrink} internal mismatches when [shrink] is set, and
+    write each mismatch's (minimized) program as a trace file under
+    [repro_dir] when given, creating the directory as needed. *)

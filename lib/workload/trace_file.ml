@@ -1,0 +1,146 @@
+(* Trace-file frontend: per-processor access/sync streams as text.
+   See the .mli for the grammar. *)
+
+exception Parse_error of { line : int; msg : string }
+
+let fail line fmt = Printf.ksprintf (fun msg -> raise (Parse_error { line; msg })) fmt
+
+let is_space c = c = ' ' || c = '\t' || c = '\r'
+
+let tokens line =
+  (* strip comments, split on blanks *)
+  let line = match String.index_opt line '#' with Some i -> String.sub line 0 i | None -> line in
+  String.split_on_char ' ' (String.map (fun c -> if is_space c then ' ' else c) line)
+  |> List.filter (fun s -> s <> "")
+
+let int_of ~line what s =
+  match int_of_string_opt s with
+  | Some n -> n
+  | None -> fail line "expected an integer %s, got %S" what s
+
+let parse_string ?name text =
+  let lines = String.split_on_char '\n' text in
+  let directive_name = ref None in
+  let procs = ref None and words = ref None in
+  (* built lazily once [procs] is known *)
+  let streams = ref [||] in
+  let events_seen = ref false in
+  let push p op =
+    match !procs with
+    | None -> assert false
+    | Some n ->
+        if p < 0 || p >= n then raise Exit;
+        !streams.(p) <- op :: !streams.(p)
+  in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      match tokens line with
+      | [] -> ()
+      | [ "name"; n ] -> directive_name := Some n
+      | [ "procs"; n ] ->
+          if !events_seen then fail lineno "procs directive must precede events";
+          if !procs <> None then fail lineno "duplicate procs directive";
+          let n = int_of ~line:lineno "processor count" n in
+          if n < 1 then fail lineno "procs must be >= 1, got %d" n;
+          procs := Some n;
+          streams := Array.make n []
+      | [ "words"; n ] ->
+          if !events_seen then fail lineno "words directive must precede events";
+          if !words <> None then fail lineno "duplicate words directive";
+          let n = int_of ~line:lineno "word count" n in
+          if n < 1 then fail lineno "words must be >= 1, got %d" n;
+          words := Some n
+      | toks -> (
+          (match (!procs, !words) with
+          | None, _ -> fail lineno "event before the procs directive"
+          | _, None -> fail lineno "event before the words directive"
+          | Some _, Some _ -> ());
+          events_seen := true;
+          match toks with
+          | [ "b" ] -> Array.iteri (fun p _ -> push p Program.Barrier) !streams
+          | [ p; op; arg ] -> (
+              let pid = int_of ~line:lineno "processor id" p in
+              let arg_kind = if op = "l" || op = "u" then "lock id" else "word index" in
+              let arg = int_of ~line:lineno arg_kind arg in
+              let ev =
+                match op with
+                | "r" -> Program.Read arg
+                | "w" -> Program.Write arg
+                | "l" -> Program.Lock arg
+                | "u" -> Program.Unlock arg
+                | _ -> fail lineno "unknown event %S (expected r, w, l or u)" op
+              in
+              try push pid ev
+              with Exit ->
+                fail lineno "processor id %d out of range [0, %d)" pid
+                  (match !procs with Some n -> n | None -> 0))
+          | _ ->
+              fail lineno
+                "malformed line %S (expected \"<proc> r|w|l|u <n>\" or a bare \"b\")"
+                (String.trim line)))
+    lines;
+  let nprocs = match !procs with Some n -> n | None -> fail 0 "missing procs directive" in
+  let words = match !words with Some n -> n | None -> fail 0 "missing words directive" in
+  let name =
+    match (!directive_name, name) with Some n, _ -> n | None, Some n -> n | None, None -> "trace"
+  in
+  let t = { Program.name; nprocs; words; streams = Array.map List.rev !streams } in
+  (try Program.validate t with Program.Invalid msg -> fail 0 "%s" msg);
+  t
+
+let parse_file path =
+  let name = Filename.remove_extension (Filename.basename path) in
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> parse_string ~name (really_input_string ic (in_channel_length ic)))
+
+(* Phase-by-phase rendering: within a phase, each processor's segment in
+   stream order, then one global [b]. Any interleaving parses back to
+   the same streams, so round-tripping is structural. *)
+let to_string (t : Program.t) =
+  let buf = Buffer.create 256 in
+  Printf.bprintf buf "name %s\nprocs %d\nwords %d\n" t.Program.name t.Program.nprocs
+    t.Program.words;
+  let rests = Array.map (fun s -> ref s) t.Program.streams in
+  let nphases = Program.phases t + 1 in
+  for phase = 0 to nphases - 1 do
+    Array.iteri
+      (fun p rest ->
+        let continue = ref true in
+        while !continue do
+          match !rest with
+          | [] | Program.Barrier :: _ -> continue := false
+          | op :: tl ->
+              rest := tl;
+              let line =
+                match op with
+                | Program.Read w -> Printf.sprintf "%d r %d" p w
+                | Program.Write w -> Printf.sprintf "%d w %d" p w
+                | Program.Lock l -> Printf.sprintf "%d l %d" p l
+                | Program.Unlock l -> Printf.sprintf "%d u %d" p l
+                | Program.Barrier -> assert false
+              in
+              Buffer.add_string buf line;
+              Buffer.add_char buf '\n'
+        done)
+      rests;
+    if phase < nphases - 1 then begin
+      (* consume each stream's barrier and emit one global b *)
+      Array.iter
+        (fun rest ->
+          match !rest with
+          | Program.Barrier :: tl -> rest := tl
+          | _ -> assert false)
+        rests;
+      Buffer.add_string buf "b\n"
+    end
+  done;
+  Buffer.contents buf
+
+let write_file path t =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string t))

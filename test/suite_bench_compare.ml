@@ -149,6 +149,62 @@ let test_backend_absent_defaults_lrc () =
   let _, _, _, _, _, _, backend = e.Compare_core.key in
   check Alcotest.string "absent backend field reads as lrc" "lrc" backend
 
+(* The PR 8 back-compat contract, end to end: a pre-v8 baseline entry
+   (no "backend" field, no bus counters) must gate cleanly against a
+   current lrc entry that records bus counters — the absent backend
+   folds to "lrc" so the keys match, and counters only one side has are
+   never compared. *)
+let test_pre_v8_baseline_gates_current_lrc () =
+  let pre_v8 =
+    Compare_core.entry_of_json
+      (Bench_json.Obj
+         [
+           ("app", Bench_json.String "sor");
+           ("scale", Bench_json.String "small");
+           ("nprocs", Bench_json.Int 8);
+           ("detect", Bench_json.Bool true);
+           ("protocol", Bench_json.String "single-writer");
+           ("wall_s", Bench_json.Float 1.0);
+           ("sim_time_ns", Bench_json.Int 5000);
+           ("races", Bench_json.Int 3);
+           ("mem_checksum", Bench_json.Int 48879);
+           ("bytes", Bench_json.Int 4096);
+           ("messages", Bench_json.Int 100);
+         ])
+  in
+  let current =
+    [
+      entry ~backend:"lrc"
+        ~extras:[ ("messages", 100); ("bus_transactions", 0); ("invalidations", 0) ]
+        "sor";
+    ]
+  in
+  let r = gate ~ignore_wall:true [ pre_v8 ] current in
+  check Alcotest.bool "pre-v8 baseline gates a current lrc entry" true
+    (Compare_core.passed r);
+  check Alcotest.int "the shared key compared" 1 r.Compare_core.compared
+
+let test_bus_counters_compared_only_when_shared () =
+  (* baseline recorded before the bus backends existed: a current run's
+     bus counters must not be compared against its absence... *)
+  let baseline = [ entry ~backend:"mesi" ~extras:[ ("messages", 0) ] "sor" ] in
+  let current =
+    [ entry ~backend:"mesi" ~extras:[ ("messages", 0); ("bus_transactions", 512) ] "sor" ]
+  in
+  check Alcotest.bool "bus counter only in current never drifts" true
+    (Compare_core.passed (gate ~ignore_wall:true baseline current));
+  (* ...but once both files carry the counter, it gates and is named *)
+  let baseline' =
+    [ entry ~backend:"mesi" ~extras:[ ("messages", 0); ("bus_transactions", 512) ] "sor" ]
+  in
+  let current' =
+    [ entry ~backend:"mesi" ~extras:[ ("messages", 0); ("bus_transactions", 640) ] "sor" ]
+  in
+  let r = gate ~ignore_wall:true baseline' current' in
+  check Alcotest.bool "shared bus counter drift fails" false (Compare_core.passed r);
+  check Alcotest.bool "the drifted counter is named" true
+    (List.exists (fun l -> contains l "bus_transactions 512 -> 640") (fail_lines r))
+
 let test_extras_parsed_from_json () =
   let json =
     Bench_json.Obj
@@ -218,6 +274,10 @@ let suite =
         Alcotest.test_case "backend part of the key" `Quick test_backend_in_key;
         Alcotest.test_case "absent backend defaults to lrc" `Quick
           test_backend_absent_defaults_lrc;
+        Alcotest.test_case "pre-v8 baseline gates current lrc entry" `Quick
+          test_pre_v8_baseline_gates_current_lrc;
+        Alcotest.test_case "bus counters compared only when shared" `Quick
+          test_bus_counters_compared_only_when_shared;
         Alcotest.test_case "extras parsed from JSON" `Quick test_extras_parsed_from_json;
         Alcotest.test_case "load failures normalize to Failure" `Quick
           test_load_failures_are_failure;

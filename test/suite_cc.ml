@@ -9,51 +9,9 @@ let check = Alcotest.check
 
 let cc_backends = [ "mesi"; "dragon" ]
 
-let addr_list =
-  Alcotest.list (Alcotest.testable (fun ppf a -> Format.fprintf ppf "0x%x" a) ( = ))
-
-(* ------------------------------------------------------------------ *)
-(* Kernels: detector == oracle under both bus protocols, with the same
-   pointed expectations suite_litmus pins for the LRC protocols. *)
-
-let test_kernel_matches_oracle backend kernel () =
-  let outcome = Litmus.run_kernel ~backend kernel in
-  check addr_list
-    (kernel.Litmus.k_name ^ ": detector agrees with oracle")
-    outcome.Litmus.oracle outcome.Litmus.detected
-
-let test_false_sharing_clean backend () =
-  let outcome = Litmus.run_kernel ~backend Litmus.false_sharing_writers in
-  check addr_list "word-granular detection sees through line-granular sharing" []
-    outcome.Litmus.detected
-
-let test_lock_kernels_clean backend () =
-  List.iter
-    (fun kernel ->
-      let outcome = Litmus.run_kernel ~backend kernel in
-      check addr_list (kernel.Litmus.k_name ^ ": lock chains order everything") []
-        outcome.Litmus.detected)
-    [ Litmus.lock_handoff_chain; Litmus.lock_chained_publish ]
-
-let test_invalid_page_notices_clean backend () =
-  let outcome = Litmus.run_kernel ~backend Litmus.write_notice_invalid_page in
-  check addr_list "stacked invalidations produce no races" [] outcome.Litmus.detected
-
-let test_racy_kernels_report backend () =
-  List.iter
-    (fun kernel ->
-      let outcome = Litmus.run_kernel ~backend kernel in
-      check Alcotest.int
-        (kernel.Litmus.k_name ^ ": exactly one racy address")
-        1
-        (List.length outcome.Litmus.detected))
-    [
-      Litmus.diff_cache_reuse;
-      Litmus.gc_interval_rerequest;
-      Litmus.true_sharing_overlap;
-      Litmus.multi_reader_race;
-      Litmus.partially_locked;
-    ]
+(* Kernels: detector == oracle under both bus protocols, with the
+   per-kernel racy-address counts pinned by the table shared with
+   suite_litmus (Testutil.kernel_expected_races). *)
 
 (* ------------------------------------------------------------------ *)
 (* Protocol character: the same kernel moves data differently under
@@ -203,23 +161,8 @@ let suite =
     ( "cc:kernels",
       List.concat_map
         (fun backend ->
-          List.map
-            (fun (kernel : Litmus.kernel) ->
-              Alcotest.test_case
-                (Printf.sprintf "%s %s = oracle" backend kernel.Litmus.k_name)
-                `Quick
-                (test_kernel_matches_oracle backend kernel))
-            Litmus.kernels
-          @ [
-              Alcotest.test_case (backend ^ " false sharing clean") `Quick
-                (test_false_sharing_clean backend);
-              Alcotest.test_case (backend ^ " lock kernels clean") `Quick
-                (test_lock_kernels_clean backend);
-              Alcotest.test_case (backend ^ " invalid-page notices clean") `Quick
-                (test_invalid_page_notices_clean backend);
-              Alcotest.test_case (backend ^ " racy kernels report") `Quick
-                (test_racy_kernels_report backend);
-            ])
+          Testutil.kernel_cases ~label:backend ~run:(fun kernel ->
+              Litmus.run_kernel ~backend kernel))
         cc_backends );
     ( "cc:machine",
       [

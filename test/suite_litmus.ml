@@ -61,51 +61,13 @@ let test_coherence_never_backwards protocol () =
 
 (* ------------------------------------------------------------------ *)
 (* Protocol-stress kernels: detector == oracle under every LRC
-   protocol, plus pointed expectations per kernel. The kernel bodies
-   self-check the values they read, so a wrong answer out of the diff
-   cache, the interval GC or a lock handoff fails the run itself. *)
+   protocol, with the per-kernel racy-address counts pinned by the
+   table shared with suite_cc (Testutil.kernel_expected_races). The
+   kernel bodies self-check the values they read, so a wrong answer out
+   of the diff cache, the interval GC or a lock handoff fails the run
+   itself. *)
 
-let addr_list =
-  Alcotest.list (Alcotest.testable (fun ppf a -> Format.fprintf ppf "0x%x" a) ( = ))
-
-let test_kernel_matches_oracle protocol kernel () =
-  let outcome = Litmus.run_kernel ~protocol kernel in
-  check addr_list
-    (kernel.Litmus.k_name ^ ": detector agrees with oracle")
-    outcome.Litmus.oracle outcome.Litmus.detected
-
-let test_false_sharing_clean protocol () =
-  let outcome = Litmus.run_kernel ~protocol Litmus.false_sharing_writers in
-  check addr_list "word-granular detection reports no false sharing" []
-    outcome.Litmus.detected
-
-let test_lock_kernels_clean protocol () =
-  List.iter
-    (fun kernel ->
-      let outcome = Litmus.run_kernel ~protocol kernel in
-      check addr_list (kernel.Litmus.k_name ^ ": lock chains order everything") []
-        outcome.Litmus.detected)
-    [ Litmus.lock_handoff_chain; Litmus.lock_chained_publish ]
-
-let test_invalid_page_notices_clean protocol () =
-  let outcome = Litmus.run_kernel ~protocol Litmus.write_notice_invalid_page in
-  check addr_list "stacked invalidations produce no races" [] outcome.Litmus.detected
-
-let test_racy_kernels_report protocol () =
-  List.iter
-    (fun kernel ->
-      let outcome = Litmus.run_kernel ~protocol kernel in
-      check Alcotest.int
-        (kernel.Litmus.k_name ^ ": exactly one racy address")
-        1
-        (List.length outcome.Litmus.detected))
-    [
-      Litmus.diff_cache_reuse;
-      Litmus.gc_interval_rerequest;
-      Litmus.true_sharing_overlap;
-      Litmus.multi_reader_race;
-      Litmus.partially_locked;
-    ]
+let addr_list = Testutil.addr_list
 
 let test_gc_kernel_checksum_stable () =
   (* interval GC is a storage policy: running the same kernel with and
@@ -151,23 +113,8 @@ let suite =
     ( "litmus:kernels",
       List.concat_map
         (fun (name, protocol) ->
-          List.map
-            (fun (kernel : Litmus.kernel) ->
-              Alcotest.test_case
-                (Printf.sprintf "%s %s = oracle" name kernel.Litmus.k_name)
-                `Quick
-                (test_kernel_matches_oracle protocol kernel))
-            Litmus.kernels
-          @ [
-              Alcotest.test_case (name ^ " false sharing clean") `Quick
-                (test_false_sharing_clean protocol);
-              Alcotest.test_case (name ^ " lock kernels clean") `Quick
-                (test_lock_kernels_clean protocol);
-              Alcotest.test_case (name ^ " invalid-page notices clean") `Quick
-                (test_invalid_page_notices_clean protocol);
-              Alcotest.test_case (name ^ " racy kernels report") `Quick
-                (test_racy_kernels_report protocol);
-            ])
+          Testutil.kernel_cases ~label:name ~run:(fun kernel ->
+              Litmus.run_kernel ~protocol kernel))
         lrc_protocols
       @ [
           Alcotest.test_case "GC leaves checksum and races unchanged" `Quick

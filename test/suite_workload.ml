@@ -1,0 +1,319 @@
+(* The adversarial workload frontier: trace-file frontend, seeded
+   generator with by-construction ground truth, and the differential
+   fuzzing harness (detector vs oracle vs ground truth, across every
+   backend, with and without elision).
+
+   The checked-in regression corpus under corpus/ replays on every
+   `dune runtest`: each file must be internally consistent on every
+   backend AND match its pinned racy set, so a detector regression a
+   past fuzz run caught can never come back silently. *)
+
+let check = Alcotest.check
+
+let word_list = Alcotest.list Alcotest.int
+
+let program name nprocs words streams =
+  { Workload.Program.name; nprocs; words; streams = Array.of_list streams }
+
+let roundtrips p =
+  Workload.Program.equal p
+    (Workload.Trace_file.parse_string (Workload.Trace_file.to_string p))
+
+(* ------------------------------------------------------------------ *)
+(* Program representation and validation *)
+
+let test_validate_rejects () =
+  let open Workload.Program in
+  let expect_invalid label p =
+    match validate p with
+    | () -> Alcotest.failf "%s: validate accepted an invalid program" label
+    | exception Invalid _ -> ()
+  in
+  expect_invalid "stream count" (program "t" 2 1 [ [ Read 0 ] ]);
+  expect_invalid "word range" (program "t" 1 2 [ [ Write 2 ] ]);
+  expect_invalid "unbalanced barriers" (program "t" 2 1 [ [ Barrier ]; [] ]);
+  expect_invalid "re-acquire" (program "t" 1 1 [ [ Lock 0; Lock 0; Unlock 0; Unlock 0 ] ]);
+  expect_invalid "unlock not held" (program "t" 1 1 [ [ Unlock 0 ] ]);
+  expect_invalid "lock across barrier" (program "t" 1 1 [ [ Lock 0; Barrier; Unlock 0 ] ]);
+  expect_invalid "lock past stream end" (program "t" 1 1 [ [ Lock 0 ] ]);
+  (* and the well-formed shapes pass *)
+  validate (program "t" 2 2 [ [ Lock 0; Write 0; Unlock 0; Barrier ]; [ Read 1; Barrier ] ])
+
+let test_program_measures () =
+  let open Workload.Program in
+  let p =
+    program "t" 2 2 [ [ Lock 0; Write 0; Unlock 0; Barrier; Read 1 ]; [ Barrier; Write 1 ] ]
+  in
+  check Alcotest.int "size counts every event" 7 (size p);
+  check Alcotest.int "phases = barriers per stream" 1 (phases p);
+  check
+    Alcotest.(list (pair int int))
+    "accesses in stream order"
+    [ (0, 1); (0, 4); (1, 1) ]
+    (List.map (fun (p, i, _, _) -> (p, i)) (accesses p))
+
+(* ------------------------------------------------------------------ *)
+(* Trace-file frontend *)
+
+let test_trace_parse_basic () =
+  let p =
+    Workload.Trace_file.parse_string
+      "# comment\nname demo\nprocs 2\nwords 3\n0 w 0\n1 r 2\nb\n0 l 1\n0 w 1\n0 u 1\n"
+  in
+  check Alcotest.string "name directive" "demo" p.Workload.Program.name;
+  check Alcotest.int "procs" 2 p.Workload.Program.nprocs;
+  check Alcotest.int "words" 3 p.Workload.Program.words;
+  check Alcotest.int "bare b reaches every stream" 1 (Workload.Program.phases p);
+  check Alcotest.int "events" 7 (Workload.Program.size p)
+
+let test_trace_parse_errors () =
+  let expect_error label ~line text =
+    match Workload.Trace_file.parse_string text with
+    | _ -> Alcotest.failf "%s: parse accepted bad input" label
+    | exception Workload.Trace_file.Parse_error e ->
+        check Alcotest.int (label ^ ": error line") line e.line
+  in
+  expect_error "event before procs" ~line:1 "0 w 0\n";
+  expect_error "missing words" ~line:2 "procs 2\n0 w 0\n";
+  expect_error "bad op" ~line:3 "procs 2\nwords 1\n0 x 0\n";
+  expect_error "proc out of range" ~line:3 "procs 2\nwords 1\n2 w 0\n";
+  expect_error "non-integer" ~line:3 "procs 2\nwords 1\n0 w zero\n";
+  expect_error "malformed line" ~line:3 "procs 2\nwords 1\n0 w\n";
+  expect_error "duplicate procs" ~line:2 "procs 2\nprocs 2\n";
+  (* validation failures surface as parse errors too (line 0) *)
+  expect_error "lock discipline" ~line:0 "procs 1\nwords 1\n0 u 0\n";
+  expect_error "missing procs entirely" ~line:0 "words 1\n"
+
+let test_trace_roundtrip_handwritten () =
+  let open Workload.Program in
+  let p =
+    program "rt" 3 4
+      [
+        [ Write 0; Barrier; Lock 0; Read 1; Unlock 0; Barrier ];
+        [ Barrier; Read 0; Barrier; Write 3 ];
+        [ Lock 1; Write 2; Unlock 1; Barrier; Barrier ];
+      ]
+  in
+  validate p;
+  check Alcotest.bool "hand-written program round-trips" true (roundtrips p)
+
+let test_trace_roundtrip_generated () =
+  for index = 0 to 19 do
+    let g = Workload.Generator.generate_seeded ~seed:42 ~index () in
+    if not (roundtrips g.Workload.Generator.program) then
+      Alcotest.failf "generated program %d does not round-trip:@.%a" index
+        Workload.Program.pp g.Workload.Generator.program
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Generator *)
+
+let test_generator_deterministic () =
+  let a = Workload.Generator.generate_seeded ~seed:9 ~index:4 () in
+  let b = Workload.Generator.generate_seeded ~seed:9 ~index:4 () in
+  check Alcotest.bool "same (seed, index) draws the same program" true
+    (Workload.Program.equal a.Workload.Generator.program b.Workload.Generator.program);
+  check word_list "and the same ground truth" a.Workload.Generator.racy
+    b.Workload.Generator.racy;
+  let c = Workload.Generator.generate_seeded ~seed:9 ~index:5 () in
+  check Alcotest.bool "a different index draws a different program" false
+    (Workload.Program.equal a.Workload.Generator.program c.Workload.Generator.program)
+
+let test_generator_valid_and_labeled () =
+  for index = 0 to 19 do
+    let g = Workload.Generator.generate_seeded ~seed:7 ~index () in
+    let p = g.Workload.Generator.program in
+    Workload.Program.validate p;
+    check Alcotest.int
+      (Printf.sprintf "program %d: one role per word" index)
+      p.Workload.Program.words
+      (Array.length g.Workload.Generator.role);
+    List.iter
+      (fun w ->
+        check Alcotest.bool
+          (Printf.sprintf "program %d: racy word %d labeled racy" index w)
+          true
+          (String.length g.Workload.Generator.role.(w) >= 4
+          && String.sub g.Workload.Generator.role.(w) 0 4 = "racy"))
+      g.Workload.Generator.racy
+  done
+
+(* The tentpole property: for every generated program, the online
+   detector, the offline oracle and the by-construction ground truth
+   agree exactly, on every backend, with and without elision. *)
+let test_generator_differential () =
+  for index = 0 to 7 do
+    let g = Workload.Generator.generate_seeded ~seed:2026 ~index () in
+    match
+      Workload.Harness.check ~runner:Workload.Harness.driver_runner
+        ~ground_truth:g.Workload.Generator.racy g.Workload.Generator.program
+    with
+    | None -> ()
+    | Some m ->
+        Alcotest.failf "program %d: %s mismatch: %s@.%a" index
+          (Workload.Harness.kind_name m.Workload.Harness.kind)
+          m.Workload.Harness.detail Workload.Program.pp g.Workload.Generator.program
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Harness: a deliberately planted detector bug must be caught, shrunk
+   to a tiny repro, and that repro must replay clean under the real
+   detector once written out and parsed back — the full corpus cycle. *)
+
+let buggy_runner ~backend ~elide p =
+  let r = Workload.Harness.driver_runner ~backend ~elide p in
+  if backend = "mesi" then
+    {
+      r with
+      Workload.Harness.detected =
+        (match r.Workload.Harness.detected with _ :: tl -> tl | [] -> []);
+    }
+  else r
+
+let test_planted_bug_caught_and_shrunk () =
+  let report =
+    Workload.Harness.fuzz ~runner:buggy_runner ~seed:1 ~count:4 ~shrink:true ()
+  in
+  check Alcotest.bool "the planted bug is caught" true
+    (report.Workload.Harness.mismatches <> []);
+  List.iter
+    (fun (m : Workload.Harness.mismatch) ->
+      check Alcotest.bool "internal (shrinkable) mismatch kind" true
+        (Workload.Harness.shrinkable m.Workload.Harness.kind);
+      let size = Workload.Program.size m.Workload.Harness.program in
+      if size > 10 then
+        Alcotest.failf "repro not minimized: %d events@.%a" size Workload.Program.pp
+          m.Workload.Harness.program;
+      (* corpus cycle: write as a trace file, parse back, and require
+         the real detector to pass on the minimized repro *)
+      let text = Workload.Trace_file.to_string m.Workload.Harness.program in
+      let replayed = Workload.Trace_file.parse_string text in
+      check Alcotest.bool "repro round-trips" true
+        (Workload.Program.equal m.Workload.Harness.program replayed);
+      match Workload.Harness.check ~runner:Workload.Harness.driver_runner replayed with
+      | None -> ()
+      | Some mm ->
+          Alcotest.failf "minimized repro fails under the real detector: %s"
+            mm.Workload.Harness.detail)
+    report.Workload.Harness.mismatches;
+  check Alcotest.bool "shrinking did real work" true
+    (report.Workload.Harness.shrink_steps > 0)
+
+let test_clean_fuzz_run () =
+  let report = Workload.Harness.fuzz ~seed:11 ~count:5 ~shrink:true () in
+  check Alcotest.int "no mismatches" 0 (List.length report.Workload.Harness.mismatches);
+  check Alcotest.int "every planted race found" report.Workload.Harness.planted
+    report.Workload.Harness.found;
+  check Alcotest.int "all programs checked" 5 report.Workload.Harness.programs
+
+(* ------------------------------------------------------------------ *)
+(* Static passes on generated programs: the MHP analysis now sees
+   multi-processor, lock-nested, multi-phase programs (not just the
+   straight-line 2-proc enumeration of suite_mhp), and its elision
+   verdicts must stay sound: no site it calls race-free may dynamically
+   race. *)
+
+let test_mhp_sound_on_generated () =
+  for index = 0 to 11 do
+    let g = Workload.Generator.generate_seeded ~seed:31 ~index () in
+    let p = g.Workload.Generator.program in
+    let race_free = Instrument.Mhp.race_free_sites (Workload.Program.binary p) in
+    (* sites whose word is racy by construction *)
+    let racy_sites =
+      List.filter_map
+        (fun (proc, i, _, w) ->
+          if List.mem w g.Workload.Generator.racy then
+            Some (Workload.Program.site ~proc ~index:i)
+          else None)
+        (Workload.Program.accesses p)
+    in
+    List.iter
+      (fun site ->
+        if List.mem site race_free then
+          Alcotest.failf
+            "program %d: MHP calls site %s race-free but its word races by \
+             construction@.%a"
+            index site Workload.Program.pp p)
+      racy_sites
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Regression corpus: every checked-in trace replays with full internal
+   consistency AND matches its pinned racy set. When a fuzz run finds a
+   bug, its minimized repro joins corpus/ and this table. *)
+
+let corpus_expectations =
+  [
+    ("mp-unsync", [ 0; 1 ]);
+    ("locked-counter", []);
+    ("false-sharing", []);
+    ("min-repro-ww", [ 0 ]);
+  ]
+
+let test_corpus_replays_clean () =
+  (* cwd is test/ under `dune runtest`, the repo root under `dune exec` *)
+  let dir = if Sys.file_exists "corpus" then "corpus" else "test/corpus" in
+  let files =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".trace")
+    |> List.sort compare
+  in
+  check Alcotest.bool "corpus is not empty" true (files <> []);
+  List.iter
+    (fun file ->
+      let p = Workload.Trace_file.parse_file (Filename.concat dir file) in
+      (* every corpus file must have a pinned expectation *)
+      let expected =
+        match List.assoc_opt p.Workload.Program.name corpus_expectations with
+        | Some e -> e
+        | None ->
+            Alcotest.failf
+              "corpus file %s (program %S) has no entry in corpus_expectations — pin \
+               its racy set"
+              file p.Workload.Program.name
+      in
+      (match Workload.Harness.check ~runner:Workload.Harness.driver_runner ~ground_truth:expected p with
+      | None -> ()
+      | Some m ->
+          Alcotest.failf "corpus %s: %s: %s" file
+            (Workload.Harness.kind_name m.Workload.Harness.kind)
+            m.Workload.Harness.detail);
+      check Alcotest.bool (file ^ " round-trips") true (roundtrips p))
+    files
+
+let suite =
+  [
+    ( "workload:program",
+      [
+        Alcotest.test_case "validate rejects bad programs" `Quick test_validate_rejects;
+        Alcotest.test_case "size / phases / accesses" `Quick test_program_measures;
+      ] );
+    ( "workload:trace",
+      [
+        Alcotest.test_case "parse basics" `Quick test_trace_parse_basic;
+        Alcotest.test_case "parse errors carry line numbers" `Quick test_trace_parse_errors;
+        Alcotest.test_case "hand-written round-trip" `Quick test_trace_roundtrip_handwritten;
+        Alcotest.test_case "generated round-trip (20 seeds)" `Quick
+          test_trace_roundtrip_generated;
+      ] );
+    ( "workload:generator",
+      [
+        Alcotest.test_case "deterministic in (seed, index)" `Quick
+          test_generator_deterministic;
+        Alcotest.test_case "valid and role-labeled (20 seeds)" `Quick
+          test_generator_valid_and_labeled;
+        Alcotest.test_case "detector = oracle = ground truth, all backends" `Slow
+          test_generator_differential;
+      ] );
+    ( "workload:harness",
+      [
+        Alcotest.test_case "planted detector bug caught, shrunk to <= 10 events" `Slow
+          test_planted_bug_caught_and_shrunk;
+        Alcotest.test_case "clean fuzz run finds every planted race" `Slow
+          test_clean_fuzz_run;
+        Alcotest.test_case "MHP elision sound on generated programs" `Quick
+          test_mhp_sound_on_generated;
+      ] );
+    ( "workload:corpus",
+      [ Alcotest.test_case "regression corpus replays clean" `Quick test_corpus_replays_clean ] );
+  ]

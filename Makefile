@@ -36,7 +36,13 @@ test:
 # wall-clock under parallelism includes domain contention — wall is
 # only comparable like-for-like. The work pool is gated separately: a
 # --jobs 4 sweep is diffed against a --jobs 1 sweep with --ignore-wall,
-# proving the fan-out changes nothing observable. The remote executor
+# proving the fan-out changes nothing observable. Intra-run parallelism
+# is gated the same way: a --sim-jobs 2 sweep at p16 (Water and the
+# rest) diffed against the same sweep at --sim-jobs 1 with
+# --ignore-wall --ignore-sim-jobs — the sharded engine's contract is
+# that the domain count is unobservable in every deterministic field,
+# and sim_jobs must be erased from the match key for that comparison
+# to exist at all. The remote executor
 # is gated the same way but under CHAOS: a --workers 2 sweep with a
 # seeded plan that kills each gen-0 worker at its 3rd task AND hangs
 # one task past a 5 s deadline must still produce a JSON identical
@@ -69,6 +75,9 @@ check:
 	dune exec bench/main.exe -- --small --jobs 1 --procs 4 sweep --json _build/bench_j1.json
 	dune exec bench/main.exe -- --small --jobs 4 --procs 4 sweep --json _build/bench_j4.json
 	dune exec bench/compare.exe -- _build/bench_j1.json _build/bench_j4.json --ignore-wall
+	dune exec bench/main.exe -- --small --jobs 1 --procs 16 --sim-jobs 1 sweep --json _build/bench_sj1.json
+	dune exec bench/main.exe -- --small --jobs 1 --procs 16 --sim-jobs 2 sweep --json _build/bench_sj2.json
+	dune exec bench/compare.exe -- _build/bench_sj1.json _build/bench_sj2.json --ignore-wall --ignore-sim-jobs
 	dune exec bench/main.exe -- --small --workers 2 --procs 4 --chaos "seed=7,kill-after=3,hang=0:1:2" --task-deadline 5 sweep --json _build/bench_w2.json
 	dune exec bench/compare.exe -- _build/bench_j1.json _build/bench_w2.json --ignore-wall
 	dune exec test/gen_equiv_golden.exe -- --workers 2 --chaos "seed=11,kill-after=5" _build/perf_equiv_w2.json

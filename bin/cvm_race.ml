@@ -178,6 +178,17 @@ let jobs_arg =
   in
   Arg.(value & opt int (Parallel.Pool.default_jobs ()) & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
+let sim_jobs_arg =
+  let doc =
+    "Intra-run parallelism: shard the simulation itself over $(docv) domains \
+     (conservative parallel discrete-event execution). Races, statistics, traces and \
+     checksums are byte-identical whatever $(docv) is; only wall-clock changes. Only the \
+     lrc backend over a fault-free, jitter-free, transport-less wire parallelizes; other \
+     configurations fall back to the sequential engine. Composes with $(b,--jobs): that \
+     flag parallelizes across independent runs, this one inside each run."
+  in
+  Arg.(value & opt (some int) None & info [ "sim-jobs" ] ~docv:"N" ~doc)
+
 let elide_arg =
   let doc =
     "Skip the runtime race check at sites the static MHP analysis proves race-free \
@@ -234,7 +245,7 @@ let with_executor ~jobs ~workers ~chaos ~task_deadline f =
   else f (Parallel.Pool.task_executor ~jobs ~run ())
 
 let config ~backend ~protocol ~no_detect ~first_race_only ~stores_from_diffs ~oracle
-    ~gc_epochs ~elide =
+    ~gc_epochs ~elide ~sim_jobs =
   {
     Lrc.Config.default with
     backend;
@@ -245,6 +256,7 @@ let config ~backend ~protocol ~no_detect ~first_race_only ~stores_from_diffs ~or
     record_trace = oracle;
     gc_epochs;
     elide_sites = (if elide then Some [] else None);
+    sim_jobs;
   }
 
 let net_config cfg ~drop ~dup ~reorder ~partitions ~net_seed ~watchdog_ms ~max_retries
@@ -316,12 +328,12 @@ let resolve_workload ~scale ~procs app_name trace_file =
 
 let run_command =
   let run app_name trace_file procs scale backend protocol no_detect first_race_only
-      stores_from_diffs gc_epochs elide slowdown oracle drop dup reorder partitions
-      net_seed watchdog_ms max_retries transport =
+      stores_from_diffs gc_epochs elide sim_jobs slowdown oracle drop dup reorder
+      partitions net_seed watchdog_ms max_retries transport =
     let app, procs = resolve_workload ~scale ~procs app_name trace_file in
     let cfg =
       config ~backend ~protocol ~no_detect ~first_race_only ~stores_from_diffs ~oracle
-        ~gc_epochs ~elide
+        ~gc_epochs ~elide ~sim_jobs
     in
     let cfg =
       net_config cfg ~drop ~dup ~reorder ~partitions ~net_seed ~watchdog_ms ~max_retries
@@ -352,12 +364,12 @@ let run_command =
     end
   in
   let run app_name trace_file procs scale backend protocol no_detect first_race_only
-      stores_from_diffs gc_epochs elide slowdown oracle drop dup reorder partitions
-      net_seed watchdog_ms max_retries transport =
+      stores_from_diffs gc_epochs elide sim_jobs slowdown oracle drop dup reorder
+      partitions net_seed watchdog_ms max_retries transport =
     try
       run app_name trace_file procs scale backend protocol no_detect first_race_only
-        stores_from_diffs gc_epochs elide slowdown oracle drop dup reorder partitions
-        net_seed watchdog_ms max_retries transport
+        stores_from_diffs gc_epochs elide sim_jobs slowdown oracle drop dup reorder
+        partitions net_seed watchdog_ms max_retries transport
     with Sim.Engine.Deadlock diagnosis ->
       Format.fprintf ppf "DEADLOCK@.%s@." (Sim.Engine.diagnosis_to_string diagnosis);
       exit 2
@@ -365,9 +377,9 @@ let run_command =
   let term =
     Term.(const run $ app_or_trace_arg $ trace_file_arg $ procs_arg $ scale_arg
         $ backend_arg $ protocol_arg $ no_detect_arg $ first_race_arg $ diff_stores_arg
-        $ gc_epochs_arg $ elide_arg $ slowdown_arg $ oracle_arg $ drop_arg $ dup_arg
-        $ reorder_arg $ partition_arg $ net_seed_arg $ watchdog_arg $ max_retries_arg
-        $ transport_arg)
+        $ gc_epochs_arg $ elide_arg $ sim_jobs_arg $ slowdown_arg $ oracle_arg $ drop_arg
+        $ dup_arg $ reorder_arg $ partition_arg $ net_seed_arg $ watchdog_arg
+        $ max_retries_arg $ transport_arg)
   in
   Cmd.v
     (Cmd.info "run"
@@ -409,11 +421,11 @@ let record_command =
     Arg.(value & opt string "run.cvmt" & info [ "o"; "output" ] ~docv:"FILE" ~doc)
   in
   let record app_name procs scale backend protocol no_detect first_race_only
-      stores_from_diffs gc_epochs elide drop dup reorder partitions net_seed watchdog_ms
-      max_retries transport out =
+      stores_from_diffs gc_epochs elide sim_jobs drop dup reorder partitions net_seed
+      watchdog_ms max_retries transport out =
     let cfg =
       config ~backend ~protocol ~no_detect ~first_race_only ~stores_from_diffs
-        ~oracle:false ~gc_epochs ~elide
+        ~oracle:false ~gc_epochs ~elide ~sim_jobs
     in
     let cfg =
       net_config cfg ~drop ~dup ~reorder ~partitions ~net_seed ~watchdog_ms ~max_retries
@@ -430,11 +442,11 @@ let record_command =
       (String.length log) out
   in
   let record app_name procs scale backend protocol no_detect first_race_only
-      stores_from_diffs gc_epochs elide drop dup reorder partitions net_seed watchdog_ms
-      max_retries transport out =
+      stores_from_diffs gc_epochs elide sim_jobs drop dup reorder partitions net_seed
+      watchdog_ms max_retries transport out =
     try
       record app_name procs scale backend protocol no_detect first_race_only
-        stores_from_diffs gc_epochs elide drop dup reorder partitions net_seed
+        stores_from_diffs gc_epochs elide sim_jobs drop dup reorder partitions net_seed
         watchdog_ms max_retries transport out
     with Sim.Engine.Deadlock diagnosis ->
       Format.fprintf ppf "DEADLOCK@.%s@." (Sim.Engine.diagnosis_to_string diagnosis);
@@ -443,8 +455,8 @@ let record_command =
   let term =
     Term.(const record $ app_arg $ procs_arg $ scale_arg $ backend_arg $ protocol_arg
         $ no_detect_arg $ first_race_arg $ diff_stores_arg $ gc_epochs_arg $ elide_arg
-        $ drop_arg $ dup_arg $ reorder_arg $ partition_arg $ net_seed_arg $ watchdog_arg
-        $ max_retries_arg $ transport_arg $ out_arg)
+        $ sim_jobs_arg $ drop_arg $ dup_arg $ reorder_arg $ partition_arg $ net_seed_arg
+        $ watchdog_arg $ max_retries_arg $ transport_arg $ out_arg)
   in
   Cmd.v
     (Cmd.info "record"
@@ -593,7 +605,7 @@ let table_command =
     let doc = "Which experiment: table1, table2, table3, figure3, figure4, figure5, faults." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT" ~doc)
   in
-  let table which scale backend jobs workers chaos task_deadline =
+  let table which scale backend sim_jobs jobs workers chaos task_deadline =
     (* figure5, protocols and faults are DSM-mechanism experiments
        (LRC-internal protocol variants, wire faults); --backend does not
        apply to them *)
@@ -602,20 +614,25 @@ let table_command =
       Format.fprintf ppf "note: %s is DSM-specific; --backend %s ignored@." which backend;
     with_executor ~jobs ~workers ~chaos ~task_deadline (fun ex ->
         match which with
-        | "table1" -> Core.Report.table1 ppf (Core.Tasks.table1 ~scale ~backend ~ex ())
+        | "table1" ->
+            Core.Report.table1 ppf (Core.Tasks.table1 ~scale ~backend ?sim_jobs ~ex ())
         | "table2" -> Core.Report.table2 ppf (Core.Tasks.table2 ~scale ~ex ())
-        | "table3" -> Core.Report.table3 ppf (Core.Tasks.table3 ~scale ~backend ~ex ())
-        | "figure3" -> Core.Report.figure3 ppf (Core.Tasks.figure3 ~scale ~backend ~ex ())
-        | "figure4" -> Core.Report.figure4 ppf (Core.Tasks.figure4 ~scale ~backend ~ex ())
-        | "figure5" -> Core.Report.figure5 ppf (Core.Tasks.figure5_both ~ex ())
+        | "table3" ->
+            Core.Report.table3 ppf (Core.Tasks.table3 ~scale ~backend ?sim_jobs ~ex ())
+        | "figure3" ->
+            Core.Report.figure3 ppf (Core.Tasks.figure3 ~scale ~backend ?sim_jobs ~ex ())
+        | "figure4" ->
+            Core.Report.figure4 ppf (Core.Tasks.figure4 ~scale ~backend ?sim_jobs ~ex ())
+        | "figure5" -> Core.Report.figure5 ppf (Core.Tasks.figure5_both ?sim_jobs ~ex ())
         | "protocols" ->
-            Core.Report.protocols ppf (Core.Tasks.protocol_comparison_all ~scale ~ex ())
+            Core.Report.protocols ppf
+              (Core.Tasks.protocol_comparison_all ~scale ?sim_jobs ~ex ())
         | "faults" -> Core.Report.faults ppf (Core.Tasks.fault_sweep_all ~scale ~ex ())
         | other -> Format.fprintf ppf "unknown experiment %S@." other)
   in
   let term =
-    Term.(const table $ which_arg $ scale_arg $ backend_arg $ jobs_arg $ workers_arg
-        $ chaos_arg $ task_deadline_arg)
+    Term.(const table $ which_arg $ scale_arg $ backend_arg $ sim_jobs_arg $ jobs_arg
+        $ workers_arg $ chaos_arg $ task_deadline_arg)
   in
   Cmd.v (Cmd.info "table" ~doc:"Regenerate one of the paper's tables or figures.") term
 
@@ -628,14 +645,15 @@ let sweep_command =
     let doc = "Comma-separated processor counts." in
     Arg.(value & opt (list int) [ 2; 4; 8 ] & info [ "p"; "procs" ] ~docv:"N,N,..." ~doc)
   in
-  let sweep apps procs scale backend jobs workers chaos task_deadline =
+  let sweep apps procs scale backend sim_jobs jobs workers chaos task_deadline =
     let names = match apps with [] -> Apps.Registry.all_names | names -> names in
     with_executor ~jobs ~workers ~chaos ~task_deadline (fun ex ->
-        Core.Report.figure4 ppf (Core.Tasks.figure4 ~scale ~procs ~names ~backend ~ex ()))
+        Core.Report.figure4 ppf
+          (Core.Tasks.figure4 ~scale ~procs ~names ~backend ?sim_jobs ~ex ()))
   in
   let term =
-    Term.(const sweep $ apps_arg $ procs_list_arg $ scale_arg $ backend_arg $ jobs_arg
-        $ workers_arg $ chaos_arg $ task_deadline_arg)
+    Term.(const sweep $ apps_arg $ procs_list_arg $ scale_arg $ backend_arg $ sim_jobs_arg
+        $ jobs_arg $ workers_arg $ chaos_arg $ task_deadline_arg)
   in
   Cmd.v
     (Cmd.info "sweep"

@@ -31,7 +31,7 @@ type value =
   | V_retention of Experiments.retention_row
   | V_sweep of Experiments.sweep_point
 
-let value_codec_version = 2
+let value_codec_version = 3
 
 exception Corrupt of string
 
@@ -62,31 +62,39 @@ let eval ?clock (task : Parallel.Task.t) : value =
       end;
       if sleep_ms > 0 then Unix.sleepf (float_of_int sleep_ms /. 1000.0);
       V_string reply
-  | Table1_row { scale; nprocs; app; backend } ->
-      V_table1 (Experiments.table1_row ~scale:(scale_of scale) ~nprocs ~backend app)
+  | Table1_row { scale; nprocs; app; backend; sim_jobs } ->
+      V_table1
+        (Experiments.table1_row ~scale:(scale_of scale) ~nprocs ~backend ?sim_jobs app)
   | Table2_row { scale; app } -> V_table2 (Experiments.table2_row ~scale:(scale_of scale) app)
-  | Table3_row { scale; nprocs; app; backend } ->
-      V_table3 (Experiments.table3_row ~scale:(scale_of scale) ~nprocs ~backend app)
-  | Figure3_row { scale; nprocs; app; backend } ->
-      V_figure3 (Experiments.figure3_row ~scale:(scale_of scale) ~nprocs ~backend app)
-  | Figure4_point { scale; nprocs; app; backend } ->
-      V_figure4 (Experiments.figure4_point ~scale:(scale_of scale) ~backend ~nprocs app)
-  | Figure5 { protocol } ->
-      V_figure5 (Experiments.figure5 ~protocol:(Lrc.Config.protocol_of_name protocol) ())
-  | Protocol_row { scale; nprocs; app; protocol } ->
+  | Table3_row { scale; nprocs; app; backend; sim_jobs } ->
+      V_table3
+        (Experiments.table3_row ~scale:(scale_of scale) ~nprocs ~backend ?sim_jobs app)
+  | Figure3_row { scale; nprocs; app; backend; sim_jobs } ->
+      V_figure3
+        (Experiments.figure3_row ~scale:(scale_of scale) ~nprocs ~backend ?sim_jobs app)
+  | Figure4_point { scale; nprocs; app; backend; sim_jobs } ->
+      V_figure4
+        (Experiments.figure4_point ~scale:(scale_of scale) ~backend ?sim_jobs ~nprocs app)
+  | Figure5 { protocol; sim_jobs } ->
+      V_figure5
+        (Experiments.figure5 ?sim_jobs ~protocol:(Lrc.Config.protocol_of_name protocol) ())
+  | Protocol_row { scale; nprocs; app; protocol; sim_jobs } ->
       V_protocol
-        (Experiments.protocol_row ~scale:(scale_of scale) ~nprocs app
+        (Experiments.protocol_row ?sim_jobs ~scale:(scale_of scale) ~nprocs app
            (Lrc.Config.protocol_of_name protocol))
   | Fault_app_sweep { scale; nprocs; drops; app } ->
       V_faults (Experiments.fault_sweep ~scale:(scale_of scale) ~nprocs ~drops app)
-  | Ablation_row { scale; nprocs; app } ->
-      V_ablation (Experiments.stores_from_diffs_ablation ~scale:(scale_of scale) ~nprocs app)
-  | Retention_row { scale; nprocs; app } ->
-      V_retention (Experiments.site_retention_ablation ~scale:(scale_of scale) ~nprocs app)
-  | Bench_point { scale; nprocs; detect; elide; app; backend } ->
+  | Ablation_row { scale; nprocs; app; sim_jobs } ->
+      V_ablation
+        (Experiments.stores_from_diffs_ablation ~scale:(scale_of scale) ~nprocs ?sim_jobs
+           app)
+  | Retention_row { scale; nprocs; app; sim_jobs } ->
+      V_retention
+        (Experiments.site_retention_ablation ~scale:(scale_of scale) ~nprocs ?sim_jobs app)
+  | Bench_point { scale; nprocs; detect; elide; app; backend; sim_jobs } ->
       V_sweep
-        (Experiments.sweep_point ?clock ~backend ~scale:(scale_of scale) ~nprocs ~detect
-           ~elide app)
+        (Experiments.sweep_point ?clock ~backend ?sim_jobs ~scale:(scale_of scale) ~nprocs
+           ~detect ~elide app)
   | Equiv_combo { label } ->
       failwith
         (Printf.sprintf "Core.Tasks.eval: equiv combo %S needs the harness's extra interpreter"
@@ -110,11 +118,12 @@ let run_values (ex : Parallel.Pool.executor) tasks =
 let scale_name = Apps.Registry.scale_name
 
 let table1 ?(scale = Apps.Registry.Paper) ?(nprocs = Experiments.default_procs)
-    ?(backend = "lrc") ~ex () =
+    ?(backend = "lrc") ?sim_jobs ~ex () =
   run_values ex
     (List.map
        (fun app ->
-         Parallel.Task.Table1_row { scale = scale_name scale; nprocs; app; backend })
+         Parallel.Task.Table1_row
+           { scale = scale_name scale; nprocs; app; backend; sim_jobs })
        Apps.Registry.all_names)
   |> List.map (function V_table1 r -> r | _ -> unexpected "table1")
 
@@ -126,45 +135,50 @@ let table2 ?(scale = Apps.Registry.Paper) ~ex () =
   |> List.map (function V_table2 r -> r | _ -> unexpected "table2")
 
 let table3 ?(scale = Apps.Registry.Paper) ?(nprocs = Experiments.default_procs)
-    ?(backend = "lrc") ~ex () =
+    ?(backend = "lrc") ?sim_jobs ~ex () =
   run_values ex
     (List.map
        (fun app ->
-         Parallel.Task.Table3_row { scale = scale_name scale; nprocs; app; backend })
+         Parallel.Task.Table3_row
+           { scale = scale_name scale; nprocs; app; backend; sim_jobs })
        Apps.Registry.all_names)
   |> List.map (function V_table3 r -> r | _ -> unexpected "table3")
 
 let figure3 ?(scale = Apps.Registry.Paper) ?(nprocs = Experiments.default_procs)
-    ?(backend = "lrc") ~ex () =
+    ?(backend = "lrc") ?sim_jobs ~ex () =
   run_values ex
     (List.map
        (fun app ->
-         Parallel.Task.Figure3_row { scale = scale_name scale; nprocs; app; backend })
+         Parallel.Task.Figure3_row
+           { scale = scale_name scale; nprocs; app; backend; sim_jobs })
        Apps.Registry.all_names)
   |> List.map (function V_figure3 r -> r | _ -> unexpected "figure3")
 
 let figure4 ?(scale = Apps.Registry.Paper) ?procs ?(names = Apps.Registry.all_names)
-    ?(backend = "lrc") ~ex () =
+    ?(backend = "lrc") ?sim_jobs ~ex () =
   let points = Experiments.figure4_points ?procs ~names () in
   let factors =
     run_values ex
       (List.map
          (fun (app, nprocs) ->
-           Parallel.Task.Figure4_point { scale = scale_name scale; nprocs; app; backend })
+           Parallel.Task.Figure4_point
+             { scale = scale_name scale; nprocs; app; backend; sim_jobs })
          points)
     |> List.map (function V_figure4 r -> r | _ -> unexpected "figure4")
   in
   Experiments.figure4_rows ~names ~points factors
 
-let figure5_both ~ex () =
+let figure5_both ?sim_jobs ~ex () =
   run_values ex
     (List.map
-       (fun protocol -> Parallel.Task.Figure5 { protocol = Lrc.Config.protocol_name protocol })
+       (fun protocol ->
+         Parallel.Task.Figure5 { protocol = Lrc.Config.protocol_name protocol; sim_jobs })
        [ Lrc.Config.Single_writer; Lrc.Config.Seq_consistent ])
   |> List.map (function V_figure5 r -> r | _ -> unexpected "figure5")
 
 let protocol_comparison_all ?(scale = Apps.Registry.Paper)
-    ?(nprocs = Experiments.default_procs) ?(names = Apps.Registry.all_names) ~ex () =
+    ?(nprocs = Experiments.default_procs) ?(names = Apps.Registry.all_names) ?sim_jobs ~ex
+    () =
   let pairs =
     List.concat_map
       (fun app -> List.map (fun p -> (app, p)) Experiments.compared_protocols)
@@ -179,6 +193,7 @@ let protocol_comparison_all ?(scale = Apps.Registry.Paper)
              nprocs;
              app;
              protocol = Lrc.Config.protocol_name protocol;
+             sim_jobs;
            })
        pairs)
   |> List.map (function V_protocol r -> r | _ -> unexpected "protocol")
@@ -193,26 +208,28 @@ let fault_sweep_all ?(scale = Apps.Registry.Paper) ?(nprocs = Experiments.defaul
   |> List.concat_map (function V_faults rows -> rows | _ -> unexpected "fault")
 
 let stores_from_diffs_ablation_all ?(scale = Apps.Registry.Paper)
-    ?(nprocs = Experiments.default_procs) ~ex names =
+    ?(nprocs = Experiments.default_procs) ?sim_jobs ~ex names =
   run_values ex
     (List.map
-       (fun app -> Parallel.Task.Ablation_row { scale = scale_name scale; nprocs; app })
+       (fun app ->
+         Parallel.Task.Ablation_row { scale = scale_name scale; nprocs; app; sim_jobs })
        names)
   |> List.map (function V_ablation r -> r | _ -> unexpected "ablation")
 
 let site_retention_ablation_all ?(scale = Apps.Registry.Paper)
-    ?(nprocs = Experiments.default_procs) ~ex names =
+    ?(nprocs = Experiments.default_procs) ?sim_jobs ~ex names =
   run_values ex
     (List.map
-       (fun app -> Parallel.Task.Retention_row { scale = scale_name scale; nprocs; app })
+       (fun app ->
+         Parallel.Task.Retention_row { scale = scale_name scale; nprocs; app; sim_jobs })
        names)
   |> List.map (function V_retention r -> r | _ -> unexpected "retention")
 
-let sweep_points ~scale ~ex points =
+let sweep_points ?sim_jobs ~scale ~ex points =
   run_values ex
     (List.map
        (fun (app, nprocs, detect, elide, backend) ->
          Parallel.Task.Bench_point
-           { scale = scale_name scale; nprocs; detect; elide; app; backend })
+           { scale = scale_name scale; nprocs; detect; elide; app; backend; sim_jobs })
        points)
   |> List.map (function V_sweep r -> r | _ -> unexpected "sweep")

@@ -5,7 +5,11 @@
     {!Experiments} function would fan over a pool, runs it through the
     given {!Parallel.Pool.executor} (inline, domains, or remote worker
     processes) and decodes the rows — in submission order under every
-    executor, so output is identical whichever one the user picked. *)
+    executor, so output is identical whichever one the user picked.
+
+    [?sim_jobs] is carried inside each task: the worker that runs the
+    simulation shards it over that many domains (byte-identical
+    results; see {!Lrc.Config.sim_jobs}). *)
 
 type value =
   | V_string of string
@@ -54,6 +58,7 @@ val table1 :
   ?scale:Apps.Registry.scale ->
   ?nprocs:int ->
   ?backend:string ->
+  ?sim_jobs:int ->
   ex:Parallel.Pool.executor ->
   unit ->
   Experiments.table1_row list
@@ -65,6 +70,7 @@ val table3 :
   ?scale:Apps.Registry.scale ->
   ?nprocs:int ->
   ?backend:string ->
+  ?sim_jobs:int ->
   ex:Parallel.Pool.executor ->
   unit ->
   Experiments.table3_row list
@@ -73,6 +79,7 @@ val figure3 :
   ?scale:Apps.Registry.scale ->
   ?nprocs:int ->
   ?backend:string ->
+  ?sim_jobs:int ->
   ex:Parallel.Pool.executor ->
   unit ->
   Experiments.figure3_row list
@@ -82,16 +89,19 @@ val figure4 :
   ?procs:int list ->
   ?names:string list ->
   ?backend:string ->
+  ?sim_jobs:int ->
   ex:Parallel.Pool.executor ->
   unit ->
   Experiments.figure4_row list
 
-val figure5_both : ex:Parallel.Pool.executor -> unit -> Experiments.figure5_result list
+val figure5_both :
+  ?sim_jobs:int -> ex:Parallel.Pool.executor -> unit -> Experiments.figure5_result list
 
 val protocol_comparison_all :
   ?scale:Apps.Registry.scale ->
   ?nprocs:int ->
   ?names:string list ->
+  ?sim_jobs:int ->
   ex:Parallel.Pool.executor ->
   unit ->
   Experiments.protocol_row list
@@ -107,6 +117,7 @@ val fault_sweep_all :
 val stores_from_diffs_ablation_all :
   ?scale:Apps.Registry.scale ->
   ?nprocs:int ->
+  ?sim_jobs:int ->
   ex:Parallel.Pool.executor ->
   string list ->
   Experiments.ablation_row list
@@ -114,11 +125,13 @@ val stores_from_diffs_ablation_all :
 val site_retention_ablation_all :
   ?scale:Apps.Registry.scale ->
   ?nprocs:int ->
+  ?sim_jobs:int ->
   ex:Parallel.Pool.executor ->
   string list ->
   Experiments.retention_row list
 
 val sweep_points :
+  ?sim_jobs:int ->
   scale:Apps.Registry.scale ->
   ex:Parallel.Pool.executor ->
   (string * int * bool * bool * string) list ->

@@ -12,8 +12,14 @@ val protocol_of_name : string -> Lrc.Config.protocol
 (** Inverse of {!Lrc.Config.protocol_name}; raises [Invalid_argument]. *)
 
 val meta_of :
+  ?cost:Sim.Cost.t ->
   app_name:string -> scale:Apps.Registry.scale -> nprocs:int -> Lrc.Config.t ->
   Trace.Codec.meta
+(** The metadata header a recording of this configuration carries.
+    [m_sim_jobs] is stamped [Some 1] iff the run would use the
+    window-sharded engine under [cost] ({!Lrc.Cluster.windowed}) — a
+    schedule marker, never the domain count, so logs recorded at any
+    [--sim-jobs N] are byte-identical. *)
 
 val config_of_meta : Trace.Codec.meta -> Lrc.Config.t
 (** The cluster configuration a log's metadata describes (tracer unset). *)

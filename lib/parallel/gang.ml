@@ -1,0 +1,178 @@
+(* A fork-join gang for fine-grained rounds: a fixed set of worker
+   domains that repeatedly execute one small batch of indexed thunks
+   and barrier. This is what the sharded simulation engine needs — its
+   windows are microseconds of work, re-issued tens of thousands of
+   times per run — and what {!Pool} is deliberately not: the pool pays
+   two fresh mutexes, a [gettimeofday] and a condvar handoff per task,
+   the right trade for second-long simulation runs and a disastrous one
+   for event-window batches.
+
+   Three design points matter at this granularity:
+
+   - Static placement. Thunk index [i] always runs on slot [i mod jobs]
+     — no work stealing. The indices are engine shard numbers, so each
+     shard's working set (page tables, vector clocks, event queue)
+     stays in one domain's cache across the whole run instead of
+     migrating wherever a claim race sent it.
+
+   - Generation-counter publication. A round is published by bumping an
+     atomic counter; completion is one atomic decrement per active slot
+     per round, with condvars only on the slow paths.
+
+   - Adaptive waiting. With a core per domain, waiters spin — the next
+     window is usually microseconds away and a futex round-trip would
+     dominate it. Oversubscribed (fewer cores than slots, the CI /
+     laptop case), spinning is worse than useless: a spinner burns the
+     timeslice of whichever domain holds the work, so every waiter
+     blocks immediately and rounds become plain condvar handoffs. *)
+
+type t = {
+  jobs : int;  (* executing slots, including the submitter *)
+  spin : int;  (* cpu_relax budget before blocking; 0 when oversubscribed *)
+  buckets : (unit -> unit) list array;  (* per-slot work, published before [round] *)
+  round : int Atomic.t;  (* generation counter; a bump publishes [buckets] *)
+  left : int Atomic.t;  (* active (non-empty) slots not yet finished this round *)
+  failure : (exn * Printexc.raw_backtrace) option Atomic.t;  (* first write wins *)
+  stop : bool Atomic.t;
+  lock : Mutex.t;  (* guards [sleepers], [submitter_waiting], both condvars *)
+  wake : Condition.t;  (* workers: a new round (or stop) was published *)
+  idle : Condition.t;  (* submitter: the last active slot finished *)
+  mutable sleepers : int;  (* workers blocked on [wake] *)
+  mutable submitter_waiting : bool;  (* submitter blocked on [idle] *)
+  mutable workers : unit Domain.t array;
+}
+
+let default_spin = 20_000
+
+let run_slot t slot =
+  match t.buckets.(slot) with
+  | [] -> ()  (* not counted in [left] *)
+  | fs ->
+      List.iter
+        (fun f ->
+          try f ()
+          with e ->
+            let bt = Printexc.get_raw_backtrace () in
+            ignore (Atomic.compare_and_set t.failure None (Some (e, bt))))
+        fs;
+      if Atomic.fetch_and_add t.left (-1) = 1 then begin
+        (* Last active slot: wake the submitter if it stopped spinning.
+           The lock orders this against the submitter's waiting-flag
+           store, so the signal cannot fall between its check and its
+           wait. *)
+        Mutex.lock t.lock;
+        if t.submitter_waiting then Condition.signal t.idle;
+        Mutex.unlock t.lock
+      end
+
+let rec worker t slot seen =
+  let rec await spins =
+    if Atomic.get t.stop then false
+    else if Atomic.get t.round <> seen then true
+    else if spins > 0 then begin
+      Domain.cpu_relax ();
+      await (spins - 1)
+    end
+    else begin
+      Mutex.lock t.lock;
+      while Atomic.get t.round = seen && not (Atomic.get t.stop) do
+        t.sleepers <- t.sleepers + 1;
+        Condition.wait t.wake t.lock;
+        t.sleepers <- t.sleepers - 1
+      done;
+      Mutex.unlock t.lock;
+      not (Atomic.get t.stop)
+    end
+  in
+  if await t.spin then begin
+    let r = Atomic.get t.round in
+    run_slot t slot;
+    worker t slot r
+  end
+
+let create ?jobs () =
+  let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
+  if jobs < 1 then invalid_arg "Parallel.Gang.create: jobs must be >= 1";
+  let spin = if Domain.recommended_domain_count () >= jobs then default_spin else 0 in
+  let t =
+    {
+      jobs;
+      spin;
+      buckets = Array.make jobs [];
+      round = Atomic.make 0;
+      left = Atomic.make 0;
+      failure = Atomic.make None;
+      stop = Atomic.make false;
+      lock = Mutex.create ();
+      wake = Condition.create ();
+      idle = Condition.create ();
+      sleepers = 0;
+      submitter_waiting = false;
+      workers = [||];
+    }
+  in
+  if jobs > 1 then
+    t.workers <-
+      Array.init (jobs - 1) (fun wi -> Domain.spawn (fun () -> worker t (wi + 1) 0));
+  t
+
+let jobs t = t.jobs
+
+let reraise t =
+  match Atomic.exchange t.failure None with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ()
+
+let run t thunks =
+  match thunks with
+  | [] -> ()
+  | [ (_, f) ] -> f ()  (* nothing to fan out; keep exceptions synchronous *)
+  | _ when t.jobs = 1 -> List.iter (fun (_, f) -> f ()) thunks
+  | _ ->
+      (* Partition by slot, preserving index order within a slot. *)
+      Array.fill t.buckets 0 t.jobs [];
+      List.iter
+        (fun (i, f) ->
+          let slot = ((i mod t.jobs) + t.jobs) mod t.jobs in
+          t.buckets.(slot) <- f :: t.buckets.(slot))
+        (List.rev thunks);
+      let active = ref 0 in
+      Array.iter (fun b -> if b <> [] then incr active) t.buckets;
+      Atomic.set t.left !active;
+      (* publish: the bump is the release fence for [buckets] *)
+      Atomic.incr t.round;
+      Mutex.lock t.lock;
+      if t.sleepers > 0 then Condition.broadcast t.wake;
+      Mutex.unlock t.lock;
+      run_slot t 0;
+      let rec wait spins =
+        if Atomic.get t.left > 0 then
+          if spins > 0 then begin
+            Domain.cpu_relax ();
+            wait (spins - 1)
+          end
+          else begin
+            Mutex.lock t.lock;
+            t.submitter_waiting <- true;
+            while Atomic.get t.left > 0 do
+              Condition.wait t.idle t.lock
+            done;
+            t.submitter_waiting <- false;
+            Mutex.unlock t.lock
+          end
+      in
+      wait t.spin;
+      Array.fill t.buckets 0 t.jobs [];
+      reraise t
+
+let shutdown t =
+  Atomic.set t.stop true;
+  Mutex.lock t.lock;
+  Condition.broadcast t.wake;
+  Mutex.unlock t.lock;
+  Array.iter Domain.join t.workers;
+  t.workers <- [||]
+
+let with_gang ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -16,18 +16,54 @@
    Encoded tasks embed [codec_version]: a worker from a different
    protocol era refuses the task rather than misinterpreting it. *)
 
+(* [sim_jobs] on the simulation-running constructors is the intra-run
+   parallelism knob (Config.sim_jobs): results are byte-identical for
+   every value, so it changes only how fast a worker turns the task
+   around. Fault sweeps deliberately omit it — their faulted runs use
+   the transport (ineligible for sharding), and sharding only the
+   reliable baseline would compare two differently-scheduled runs. *)
 type t =
   | Probe of { reply : string; spin_ms : int; sleep_ms : int }
-  | Table1_row of { scale : string; nprocs : int; app : string; backend : string }
+  | Table1_row of {
+      scale : string;
+      nprocs : int;
+      app : string;
+      backend : string;
+      sim_jobs : int option;
+    }
   | Table2_row of { scale : string; app : string }
-  | Table3_row of { scale : string; nprocs : int; app : string; backend : string }
-  | Figure3_row of { scale : string; nprocs : int; app : string; backend : string }
-  | Figure4_point of { scale : string; nprocs : int; app : string; backend : string }
-  | Figure5 of { protocol : string }
-  | Protocol_row of { scale : string; nprocs : int; app : string; protocol : string }
+  | Table3_row of {
+      scale : string;
+      nprocs : int;
+      app : string;
+      backend : string;
+      sim_jobs : int option;
+    }
+  | Figure3_row of {
+      scale : string;
+      nprocs : int;
+      app : string;
+      backend : string;
+      sim_jobs : int option;
+    }
+  | Figure4_point of {
+      scale : string;
+      nprocs : int;
+      app : string;
+      backend : string;
+      sim_jobs : int option;
+    }
+  | Figure5 of { protocol : string; sim_jobs : int option }
+  | Protocol_row of {
+      scale : string;
+      nprocs : int;
+      app : string;
+      protocol : string;
+      sim_jobs : int option;
+    }
   | Fault_app_sweep of { scale : string; nprocs : int; drops : float list; app : string }
-  | Ablation_row of { scale : string; nprocs : int; app : string }
-  | Retention_row of { scale : string; nprocs : int; app : string }
+  | Ablation_row of { scale : string; nprocs : int; app : string; sim_jobs : int option }
+  | Retention_row of { scale : string; nprocs : int; app : string; sim_jobs : int option }
   | Bench_point of {
       scale : string;
       nprocs : int;
@@ -35,10 +71,11 @@ type t =
       elide : bool;
       app : string;
       backend : string;
+      sim_jobs : int option;
     }
   | Equiv_combo of { label : string }
 
-let codec_version = 2
+let codec_version = 3
 
 exception Corrupt of string
 
@@ -56,7 +93,7 @@ let label = function
       Printf.sprintf "figure3:%s-p%d%s" app nprocs (bk backend)
   | Figure4_point { app; nprocs; backend; _ } ->
       Printf.sprintf "figure4:%s-p%d%s" app nprocs (bk backend)
-  | Figure5 { protocol } -> Printf.sprintf "figure5:%s" protocol
+  | Figure5 { protocol; _ } -> Printf.sprintf "figure5:%s" protocol
   | Protocol_row { app; nprocs; protocol; _ } ->
       Printf.sprintf "protocol:%s-%s-p%d" app protocol nprocs
   | Fault_app_sweep { app; nprocs; _ } -> Printf.sprintf "faults:%s-p%d" app nprocs

@@ -5,19 +5,55 @@
     ({!Core.Tasks} for the row-builders; binaries linking the
     equivalence harness extend it for [Equiv_combo]). *)
 
+(** [sim_jobs] on the simulation-running constructors is the intra-run
+    parallelism knob ([Config.sim_jobs]): results are byte-identical
+    for every value, so it changes only how fast a worker turns the
+    task around. Fault sweeps omit it — their faulted runs use the
+    transport (ineligible for sharding), and sharding only the
+    reliable baseline would compare two differently-scheduled runs. *)
 type t =
   | Probe of { reply : string; spin_ms : int; sleep_ms : int }
       (** test vocabulary: optionally burn/sleep, then echo [reply] *)
-  | Table1_row of { scale : string; nprocs : int; app : string; backend : string }
+  | Table1_row of {
+      scale : string;
+      nprocs : int;
+      app : string;
+      backend : string;
+      sim_jobs : int option;
+    }
   | Table2_row of { scale : string; app : string }
-  | Table3_row of { scale : string; nprocs : int; app : string; backend : string }
-  | Figure3_row of { scale : string; nprocs : int; app : string; backend : string }
-  | Figure4_point of { scale : string; nprocs : int; app : string; backend : string }
-  | Figure5 of { protocol : string }
-  | Protocol_row of { scale : string; nprocs : int; app : string; protocol : string }
+  | Table3_row of {
+      scale : string;
+      nprocs : int;
+      app : string;
+      backend : string;
+      sim_jobs : int option;
+    }
+  | Figure3_row of {
+      scale : string;
+      nprocs : int;
+      app : string;
+      backend : string;
+      sim_jobs : int option;
+    }
+  | Figure4_point of {
+      scale : string;
+      nprocs : int;
+      app : string;
+      backend : string;
+      sim_jobs : int option;
+    }
+  | Figure5 of { protocol : string; sim_jobs : int option }
+  | Protocol_row of {
+      scale : string;
+      nprocs : int;
+      app : string;
+      protocol : string;
+      sim_jobs : int option;
+    }
   | Fault_app_sweep of { scale : string; nprocs : int; drops : float list; app : string }
-  | Ablation_row of { scale : string; nprocs : int; app : string }
-  | Retention_row of { scale : string; nprocs : int; app : string }
+  | Ablation_row of { scale : string; nprocs : int; app : string; sim_jobs : int option }
+  | Retention_row of { scale : string; nprocs : int; app : string; sim_jobs : int option }
   | Bench_point of {
       scale : string;
       nprocs : int;
@@ -25,6 +61,7 @@ type t =
       elide : bool;
       app : string;
       backend : string;
+      sim_jobs : int option;
     }
   | Equiv_combo of { label : string }
 

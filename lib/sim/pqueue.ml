@@ -1,8 +1,13 @@
-(* Binary min-heap keyed by (time, seq). The sequence number makes pops
-   deterministic: events scheduled earlier win ties, which is what makes the
-   whole simulation reproducible run-to-run. *)
+(* Binary min-heap keyed by (time, node, seq). The key is a property of
+   the *event*, not of heap state at pop time: [time] is the simulated
+   instant, [node] is the simulated node the event belongs to, and [seq]
+   is the per-queue insertion rank. Events that tie on time order by
+   node, then by insertion — so a merged view of several queues (the
+   sharded engine) and a single global queue (the legacy engine, which
+   pushes everything with the default [node = 0]) both pop in an order
+   that does not depend on how execution was scheduled. *)
 
-type 'a entry = { time : int; seq : int; value : 'a }
+type 'a entry = { time : int; node : int; seq : int; value : 'a }
 
 type 'a t = {
   mutable data : 'a entry array;
@@ -10,18 +15,29 @@ type 'a t = {
   mutable next_seq : int;
 }
 
+(* Filler for unused slots. The heap never reads slots at or beyond
+   [size], so the only requirement is that the filler does not keep any
+   popped value reachable: its [value] is an immediate, which is safe to
+   view at any type (it is never looked at). Without this, a popped
+   entry stayed pinned in the vacated tail slot for the life of the
+   queue — closures, messages and all. *)
+let nil : Obj.t entry = { time = min_int; node = min_int; seq = min_int; value = Obj.repr 0 }
+
+let nil_entry () : 'a entry = Obj.magic nil
+
 let create () = { data = [||]; size = 0; next_seq = 0 }
 
 let length t = t.size
 
 let is_empty t = t.size = 0
 
-let entry_before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+let entry_before a b =
+  a.time < b.time
+  || (a.time = b.time && (a.node < b.node || (a.node = b.node && a.seq < b.seq)))
 
 let grow t =
   let capacity = max 16 (2 * Array.length t.data) in
-  let dummy = t.data.(0) in
-  let data = Array.make capacity dummy in
+  let data = Array.make capacity (nil_entry ()) in
   Array.blit t.data 0 data 0 t.size;
   t.data <- data
 
@@ -50,10 +66,9 @@ let rec sift_down t i =
     sift_down t !smallest
   end
 
-let push t ~time value =
-  let entry = { time; seq = t.next_seq; value } in
+let push ?(node = 0) t ~time value =
+  let entry = { time; node; seq = t.next_seq; value } in
   t.next_seq <- t.next_seq + 1;
-  if t.size = 0 && Array.length t.data = 0 then t.data <- Array.make 16 entry;
   if t.size = Array.length t.data then grow t;
   t.data.(t.size) <- entry;
   t.size <- t.size + 1;
@@ -66,8 +81,10 @@ let pop t =
     t.size <- t.size - 1;
     if t.size > 0 then begin
       t.data.(0) <- t.data.(t.size);
+      t.data.(t.size) <- nil_entry ();
       sift_down t 0
-    end;
+    end
+    else t.data.(0) <- nil_entry ();
     Some (top.time, top.value)
   end
 

@@ -23,10 +23,18 @@
      cache geometry [m_cc_line_bytes]/[m_cc_sets]/[m_cc_ways] the
      snooping-bus backends need to reproduce a run, and the Bus event
      (tag 22). Older logs decode as backend "lrc" with the default
-     geometry. *)
+     geometry.
+   - v5: [m_sim_jobs], the engine-schedule marker: [Some 1] when the
+     recording ran on the window-sharded --sim-jobs engine (whose event
+     times differ from the legacy loop's), [None] for legacy-loop
+     recordings. The domain count itself is deliberately NOT recorded:
+     the sharded interleaving is identical for every count, and logs
+     recorded at any --sim-jobs N must stay byte-identical. Replay uses
+     the marker to pick the engine and runs one domain. Older logs
+     decode as [None]. *)
 
 let magic = "CVMT"
-let version = 4
+let version = 5
 let min_version = 1
 
 type transport_meta = {
@@ -62,6 +70,7 @@ type meta = {
   m_cc_line_bytes : int;  (* cache geometry for the bus backends (v4+) *)
   m_cc_sets : int;
   m_cc_ways : int;
+  m_sim_jobs : int option;  (* sharded-engine schedule marker (v5+) *)
 }
 
 (* The transport defaults that were current while v1 was the format:
@@ -230,7 +239,8 @@ let put_meta buf m =
   put_string buf m.m_backend;
   put_varint buf m.m_cc_line_bytes;
   put_varint buf m.m_cc_sets;
-  put_varint buf m.m_cc_ways
+  put_varint buf m.m_cc_ways;
+  put_opt buf put_varint m.m_sim_jobs
 
 let get_meta ~version c =
   let m_app = get_string c in
@@ -288,6 +298,7 @@ let get_meta ~version c =
       (backend, line_bytes, sets, ways)
     else ("lrc", 64, 64, 2)
   in
+  let m_sim_jobs = if version >= 5 then get_opt c get_varint else None in
   {
     m_app;
     m_scale;
@@ -313,6 +324,7 @@ let get_meta ~version c =
     m_cc_line_bytes;
     m_cc_sets;
     m_cc_ways;
+    m_sim_jobs;
   }
 
 (* --- events --- *)

@@ -8,7 +8,7 @@
 val magic : string
 
 val version : int
-(** The format version this build writes (v4). *)
+(** The format version this build writes (v5). *)
 
 val min_version : int
 (** The oldest format version this build still decodes (v1: no
@@ -55,6 +55,14 @@ type meta = {
   m_cc_line_bytes : int;  (** cache geometry for the bus backends (v4+) *)
   m_cc_sets : int;
   m_cc_ways : int;
+  m_sim_jobs : int option;
+      (** engine-schedule marker: [Some 1] for logs recorded on the
+          window-sharded [--sim-jobs] engine, [None] for legacy-loop
+          logs (and everything before v5). Never the domain count —
+          the sharded interleaving is domain-count-invariant, and
+          recording the count would break byte-identity of logs
+          across [--sim-jobs N]. Replay picks the engine from this
+          and runs one domain. *)
 }
 
 val v1_transport_defaults : transport_meta

@@ -6,7 +6,7 @@
     blank lines are skipped):
 
     {v
-    name <ident>          # optional; defaults to the file's basename
+    name <name>           # optional; defaults to the file's basename
     procs <n>             # required, before any event
     words <n>             # required, before any event
     <p> r <word>          # processor p reads shared word <word>
@@ -20,11 +20,22 @@
     stream is the subsequence of its own lines — except [b], which
     appends a barrier to {e every} stream, delimiting a phase for all.
     The parsed program is {!Program.validate}d, so lock-discipline and
-    barrier-balance violations are reported as parse failures too. *)
+    barrier-balance violations are reported as parse failures too
+    (prefixed with the program name, and pointing at the last line of
+    the file).
+
+    [<name>] is the raw remainder of the line: it may contain spaces.
+    Unquoted, it ends at a [#] comment and boundary whitespace is
+    trimmed; a double-quoted form — with backslash escapes for the
+    backslash, the double quote, and the n/t/r control characters —
+    covers names containing quotes, [#], newlines or significant
+    boundary whitespace. {!to_string} picks whichever form round-trips
+    the name. *)
 
 exception Parse_error of { line : int; msg : string }
-(** [line] is 1-based; 0 means the failure is not tied to one line
-    (e.g. a missing header or a validation failure). *)
+(** [line] is 1-based. Failures not tied to one line — a missing
+    [procs]/[words] directive, a {!Program.validate} rejection — report
+    the last line that carried any token (line 1 for an empty file). *)
 
 val parse_string : ?name:string -> string -> Program.t
 (** Parse trace text. A [name] directive in the text wins; [name] is

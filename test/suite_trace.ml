@@ -32,6 +32,7 @@ let sample_meta =
     m_cc_line_bytes = 64;
     m_cc_sets = 64;
     m_cc_ways = 2;
+    m_sim_jobs = Some 4;
   }
 
 (* ------------------------------------------------------------------ *)

@@ -80,9 +80,70 @@ let test_trace_parse_errors () =
   expect_error "non-integer" ~line:3 "procs 2\nwords 1\n0 w zero\n";
   expect_error "malformed line" ~line:3 "procs 2\nwords 1\n0 w\n";
   expect_error "duplicate procs" ~line:2 "procs 2\nprocs 2\n";
-  (* validation failures surface as parse errors too (line 0) *)
-  expect_error "lock discipline" ~line:0 "procs 1\nwords 1\n0 u 0\n";
-  expect_error "missing procs entirely" ~line:0 "words 1\n"
+  (* whole-file failures blame the last line carrying a token, never a
+     nonexistent "line 0" *)
+  expect_error "lock discipline" ~line:3 "procs 1\nwords 1\n0 u 0\n";
+  expect_error "missing procs entirely" ~line:1 "words 1\n";
+  expect_error "missing words, trailing blanks skipped" ~line:1 "procs 2\n\n\n";
+  expect_error "empty file" ~line:1 "";
+  (* a validation failure names the program it rejects *)
+  (match Workload.Trace_file.parse_string ~name:"fallback" "name held\nprocs 1\nwords 1\n0 l 0\n" with
+  | _ -> Alcotest.fail "lock held past stream end accepted"
+  | exception Workload.Trace_file.Parse_error e ->
+      check Alcotest.int "validation failure blames the last line" 4 e.line;
+      check Alcotest.bool
+        (Printf.sprintf "validation message %S names the program" e.msg)
+        true
+        (String.length e.msg >= 4 && String.sub e.msg 0 4 = "held"))
+
+let test_trace_name_forms () =
+  let parse = Workload.Trace_file.parse_string in
+  let name_of text = (parse text).Workload.Program.name in
+  let header = "procs 1\nwords 1\n" in
+  check Alcotest.string "unquoted name takes the rest of the line" "two words"
+    (name_of ("name two words\n" ^ header));
+  check Alcotest.string "unquoted name stops at a comment" "demo"
+    (name_of ("name demo # the demo trace\n" ^ header));
+  check Alcotest.string "quoted name keeps a hash" "demo #3"
+    (name_of ("name \"demo #3\"\n" ^ header));
+  check Alcotest.string "quoted name keeps boundary spaces" " padded "
+    (name_of ("name \" padded \"\n" ^ header));
+  check Alcotest.string "quoted escapes decode" "a\"b\\c\nd\te"
+    (name_of ("name \"a\\\"b\\\\c\\nd\\te\"\n" ^ header));
+  check Alcotest.string "comment allowed after quoted name" "q"
+    (name_of ("name \"q\" # ok\n" ^ header));
+  let expect_error label text =
+    match parse text with
+    | _ -> Alcotest.failf "%s: parse accepted bad input" label
+    | exception Workload.Trace_file.Parse_error e ->
+        check Alcotest.int (label ^ ": error on the name line") 1 e.line
+  in
+  expect_error "bare name directive" ("name\n" ^ header);
+  expect_error "comment-only name" ("name # nothing\n" ^ header);
+  expect_error "unterminated quote" ("name \"open\n" ^ header);
+  expect_error "dangling escape" ("name \"tail\\\n" ^ header);
+  expect_error "unknown escape" ("name \"a\\qb\"\n" ^ header);
+  expect_error "junk after quoted name" ("name \"q\" junk\n" ^ header)
+
+(* The round-trip property the writer must uphold for ANY name: quote
+   or escape whatever the unquoted reader would truncate or trim. The
+   alphabet concentrates on the hostile characters — hash, quote,
+   backslash, whitespace — far past their natural frequency. *)
+let prop_name_roundtrips =
+  let gen_name =
+    QCheck.Gen.(
+      string_size ~gen:(oneofl [ '#'; '"'; '\\'; ' '; '\t'; '\n'; '\r'; 'a'; 'Z'; '7'; '_' ])
+        (int_bound 12))
+  in
+  QCheck.Test.make ~name:"trace-file name round-trips (adversarial)" ~count:500
+    (QCheck.make ~print:(Printf.sprintf "%S") gen_name)
+    (fun name ->
+      let p =
+        program name 2 2
+          [ [ Workload.Program.Write 0; Workload.Program.Barrier ];
+            [ Workload.Program.Read 1; Workload.Program.Barrier ] ]
+      in
+      roundtrips p)
 
 let test_trace_roundtrip_handwritten () =
   let open Workload.Program in
@@ -292,6 +353,8 @@ let suite =
       [
         Alcotest.test_case "parse basics" `Quick test_trace_parse_basic;
         Alcotest.test_case "parse errors carry line numbers" `Quick test_trace_parse_errors;
+        Alcotest.test_case "name directive forms" `Quick test_trace_name_forms;
+        QCheck_alcotest.to_alcotest prop_name_roundtrips;
         Alcotest.test_case "hand-written round-trip" `Quick test_trace_roundtrip_handwritten;
         Alcotest.test_case "generated round-trip (20 seeds)" `Quick
           test_trace_roundtrip_generated;
